@@ -1,0 +1,53 @@
+"""Benchmark fixtures: one medium-scale campaign shared by every bench.
+
+The dataset is generated once per session at ``scale=0.12`` — roughly one
+eighth of the paper's back-to-back test schedule, still covering the full
+LA→Boston route, all four timezones, all ten static city baselines, and all
+seven test types.  Each benchmark times the *analysis* that regenerates its
+table/figure and prints the measured rows next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.campaign.runner import CampaignConfig, DriveCampaign
+
+REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+
+#: Campaign scale used for all benchmarks.
+BENCH_SCALE = 0.12
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    c = DriveCampaign(CampaignConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+    c.run()
+    c.finalize_connected_cells()
+    return c
+
+
+@pytest.fixture(scope="session")
+def dataset(campaign):
+    return campaign._dataset
+
+
+@pytest.fixture(scope="session")
+def route(campaign):
+    return campaign.route
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report block and persist it under ``benchmarks/_reports``."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(banner)
+
+
+@pytest.fixture()
+def report():
+    return emit

@@ -1,0 +1,76 @@
+"""Fig. 10 — per-test performance vs time spent on high-speed 5G.
+
+Paper anchors: only T-Mobile's midband brings a substantial downlink boost;
+for the other operators (and all operators in the uplink) throughput is
+similar regardless of the high-speed-5G time fraction; same for RTT.
+"""
+
+import numpy as np
+
+from repro.analysis.longterm import rtt_vs_hs5g_fraction, throughput_vs_hs5g_fraction
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _compute(dataset):
+    return (
+        {
+            (op, d): throughput_vs_hs5g_fraction(dataset, op, d)
+            for op in Operator
+            for d in ("downlink", "uplink")
+        },
+        {op: rtt_vs_hs5g_fraction(dataset, op) for op in Operator},
+    )
+
+
+def _split(points, threshold=0.5):
+    low = [v for f, v in points if f < threshold]
+    high = [v for f, v in points if f >= threshold]
+    return low, high
+
+
+def test_fig10_hs5g_time_fraction(benchmark, dataset, report):
+    tput_points, rtt_points = benchmark.pedantic(
+        _compute, args=(dataset,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for (op, d), points in tput_points.items():
+        low, high = _split(points)
+        rows.append([
+            f"{op.code} {d[:2].upper()}",
+            len(points),
+            f"{np.mean(low):.1f}" if low else "-",
+            f"{np.mean(high):.1f}" if high else "-",
+        ])
+    for op, points in rtt_points.items():
+        low, high = _split(points)
+        rows.append([
+            f"{op.code} RTT",
+            len(points),
+            f"{np.mean(low):.0f}" if low else "-",
+            f"{np.mean(high):.0f}" if high else "-",
+        ])
+    report(
+        "fig10_hs5g_fraction",
+        render_table(
+            ["op/metric", "tests", "mean @ <50% HS-5G", "mean @ ≥50% HS-5G"],
+            rows,
+            title="Fig. 10: per-test mean vs high-speed-5G time fraction",
+        ),
+    )
+
+    # Every operator has per-test points with valid fractions.
+    for points in tput_points.values():
+        assert points
+        assert all(0.0 <= f <= 1.0 for f, _ in points)
+    # T-Mobile's downlink benefits from midband time when both groups exist.
+    low, high = _split(tput_points[(Operator.TMOBILE, "downlink")])
+    if len(low) >= 5 and len(high) >= 5:
+        assert np.mean(high) > np.mean(low) * 0.9
+    # Verizon/AT&T DL: no dramatic improvement with HS-5G time (paper's
+    # central negative result) — means stay within a small factor.
+    for op in (Operator.VERIZON, Operator.ATT):
+        low, high = _split(tput_points[(op, "downlink")])
+        if len(low) >= 5 and len(high) >= 3:
+            assert np.mean(high) < np.mean(low) * 6.0

@@ -1,0 +1,63 @@
+"""Fig. 11 — handover frequency and duration.
+
+Paper anchors: median (75th pct) HOs/mile 3(6)/2(5)/2(5) DL and 2(5)/2(6)/1(3)
+UL for V/T/A, with 20+/mile extremes; median (75th) durations
+53(73)/76(107)/58(74) ms DL and 49(63)/75(101)/57(73) ms UL.
+"""
+
+from repro.analysis.handovers import handover_durations, handovers_per_mile
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+PAPER_RATE_DL = {Operator.VERIZON: 3.0, Operator.TMOBILE: 2.0, Operator.ATT: 2.0}
+PAPER_DUR_DL = {Operator.VERIZON: 53.0, Operator.TMOBILE: 76.0, Operator.ATT: 58.0}
+PAPER_DUR_UL = {Operator.VERIZON: 49.0, Operator.TMOBILE: 75.0, Operator.ATT: 57.0}
+
+
+def _compute(dataset):
+    return {
+        (op, d): (
+            handovers_per_mile(dataset, op, d),
+            handover_durations(dataset, op, d),
+        )
+        for op in Operator
+        for d in ("downlink", "uplink")
+    }
+
+
+def test_fig11_handover_statistics(benchmark, dataset, report):
+    results = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for (op, d), (rate, dur) in results.items():
+        paper_rate = PAPER_RATE_DL[op] if d == "downlink" else None
+        paper_dur = (PAPER_DUR_DL if d == "downlink" else PAPER_DUR_UL)[op]
+        rows.append([
+            f"{op.code} {d[:2].upper()}",
+            f"{rate.median:.1f}", f"{rate.quantile(0.75):.1f}", f"{rate.maximum:.0f}",
+            f"{paper_rate:.0f}" if paper_rate else "1-2",
+            f"{dur.median:.0f}", f"{dur.quantile(0.75):.0f}", f"{paper_dur:.0f}",
+        ])
+    report(
+        "fig11_handover_stats",
+        render_table(
+            ["op/dir", "HO/mi med", "p75", "max", "paper med",
+             "dur med (ms)", "dur p75", "paper med"],
+            rows,
+            title="Fig. 11: handover rates and durations",
+        ),
+    )
+
+    for (op, d), (rate, dur) in results.items():
+        # Fig. 11a: low typical rates...
+        assert rate.median <= 6.0, (op, d)
+        # Fig. 11b: fast handovers, near the paper's medians.
+        paper = (PAPER_DUR_DL if d == "downlink" else PAPER_DUR_UL)[op]
+        assert paper * 0.6 < dur.median < paper * 1.7, (op, d)
+    # ...with heavy extremes somewhere (paper: 20+ per mile).
+    assert max(rate.maximum for rate, _ in results.values()) > 8.0
+    # T-Mobile's handovers take the longest (Fig. 11b).
+    assert (
+        results[(Operator.TMOBILE, "downlink")][1].median
+        > results[(Operator.VERIZON, "downlink")][1].median
+    )

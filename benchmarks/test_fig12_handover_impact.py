@@ -1,0 +1,60 @@
+"""Fig. 12 — throughput impact of handovers (ΔT1, ΔT2).
+
+Paper anchors: ΔT1 < 0 around 80% of the time (a drop during the handover,
+but small — up to 60-80 Mbps DL, 20-30 Mbps UL); ΔT2 > 0 about 55-60% of the
+time with a tiny median (0.5-2 Mbps); 5G→4G handovers mostly hurt while
+4G→5G mostly help.
+"""
+
+from repro.analysis.handovers import handover_impact
+from repro.mobility.events import HandoverType
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _compute(dataset):
+    return {
+        (op, d): handover_impact(dataset, op, d)
+        for op in Operator
+        for d in ("downlink", "uplink")
+    }
+
+
+def test_fig12_handover_impact(benchmark, dataset, report):
+    results = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for (op, d), impact in results.items():
+        rows.append([
+            f"{op.code} {d[:2].upper()}",
+            impact.delta_t1.n,
+            f"{100 * impact.drop_fraction:.0f}%", "~80%",
+            f"{impact.delta_t1.median:.2f}",
+            f"{100 * impact.improvement_fraction:.0f}%", "55-60%",
+            f"{impact.delta_t2.median:.2f}", "0.5-2",
+        ])
+    report(
+        "fig12_handover_impact",
+        render_table(
+            ["op/dir", "HOs", "ΔT1<0", "paper", "ΔT1 med",
+             "ΔT2>0", "paper", "ΔT2 med", "paper"],
+            rows,
+            title="Fig. 12: throughput impact of handovers (Mbps)",
+        ),
+    )
+
+    for key, impact in results.items():
+        # A drop during the handover interval in the clear majority of cases.
+        assert impact.drop_fraction > 0.5, key
+        # Post-handover throughput more often improves than not, but not
+        # overwhelmingly — the paper's 55-60%.
+        assert 0.35 < impact.improvement_fraction < 0.9, key
+        # The median ΔT2 is small either way.
+        assert abs(impact.delta_t2.median) < 20.0, key
+    # Vertical handover asymmetry where both types have data (Fig. 12's
+    # breakdown): 4G→5G beats 5G→4G in median ΔT2.
+    for impact in results.values():
+        up = impact.delta_t2_by_type.get(HandoverType.VERTICAL_UP)
+        down = impact.delta_t2_by_type.get(HandoverType.VERTICAL_DOWN)
+        if up is not None and down is not None and up.n >= 15 and down.n >= 15:
+            assert up.median > down.median

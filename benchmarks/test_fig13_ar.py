@@ -1,0 +1,58 @@
+"""Fig. 13 — the AR app over Verizon.
+
+Paper anchors: best static E2E 68 ms / 12.5 FPS / mAP 36.5; driving median
+E2E 214 ms with compression (~3× static), offload rate 4.35 FPS, mAP 30.1;
+compression reduces E2E substantially; high-speed 5G and edge serving improve
+the worst case; no handover-QoE correlation.
+"""
+
+from repro.analysis.apps import offload_app_report
+from repro.campaign.tests import TestType
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _compute(dataset):
+    return offload_app_report(dataset, Operator.VERIZON, TestType.AR)
+
+
+def test_fig13_ar_verizon(benchmark, dataset, report):
+    r = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for compression in (False, True):
+        cdf = r.e2e_cdf.get(compression)
+        fps = r.fps_cdf.get(compression)
+        rows.append([
+            "with compression" if compression else "no compression",
+            f"{cdf.median:.0f}" if cdf else "-",
+            "214" if compression else "(higher)",
+            f"{r.best_static_e2e_ms.get(compression, float('nan')):.0f}",
+            "68" if compression else "-",
+            f"{fps.median:.1f}" if fps else "-",
+            "4.35" if compression else "-",
+            f"{r.best_static_fps.get(compression, float('nan')):.1f}",
+            "12.5" if compression else "-",
+        ])
+    block = render_table(
+        ["config", "drv E2E med (ms)", "paper", "best static E2E", "paper",
+         "drv FPS med", "paper", "static FPS", "paper"],
+        rows, title="Fig. 13: AR app (Verizon)",
+    )
+    block += f"\nhandover-mAP Pearson r: {r.handover_correlation:+.2f} (paper: none)"
+    report("fig13_ar", block)
+
+    # Driving E2E well above best static (paper: ~3×).
+    if True in r.e2e_cdf and True in r.best_static_e2e_ms:
+        ratio = r.e2e_cdf[True].median / r.best_static_e2e_ms[True]
+        assert ratio > 1.5
+    # Best static anchors: E2E in the tens of ms, FPS ~10-16, mAP 33-38.5.
+    if True in r.best_static_e2e_ms:
+        assert 40.0 < r.best_static_e2e_ms[True] < 110.0
+        assert 8.0 < r.best_static_fps[True] < 18.0
+        assert 33.0 < r.best_static_map[True] <= 38.45
+    # Compression shortens driving E2E.
+    if True in r.e2e_cdf and False in r.e2e_cdf:
+        assert r.e2e_cdf[True].median < r.e2e_cdf[False].median
+    # No strong handover correlation.
+    assert abs(r.handover_correlation) < 0.6

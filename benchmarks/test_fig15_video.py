@@ -1,0 +1,44 @@
+"""Fig. 15 — 360° video streaming over Verizon.
+
+Paper anchors: driving median QoE −53.75 vs best static 96.29 (theoretical
+best 100); ~40% of driving runs have negative QoE; rebuffering can reach 87%
+of playback; high-speed 5G and edge serving lift QoE; no handover
+correlation.
+"""
+
+from repro.analysis.apps import video_app_report
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _compute(dataset):
+    return video_app_report(dataset, Operator.VERIZON)
+
+
+def test_fig15_video_verizon(benchmark, dataset, report):
+    r = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = [[
+        f"{r.qoe_cdf.median:.1f}", "-53.75",
+        f"{r.best_static_qoe:.1f}" if r.best_static_qoe is not None else "-", "96.29",
+        f"{100 * r.negative_qoe_fraction:.0f}%", "~40%",
+        f"{100 * r.rebuffer_cdf.maximum:.0f}%", "up to 87%",
+        f"{r.bitrate_cdf.median:.1f}",
+    ]]
+    block = render_table(
+        ["QoE med", "paper", "best static QoE", "paper",
+         "neg-QoE runs", "paper", "max rebuffer", "paper", "bitrate med"],
+        rows, title="Fig. 15: 360° video (Verizon)",
+    )
+    block += f"\nhandover-QoE Pearson r: {r.handover_correlation:+.2f} (paper: none)"
+    report("fig15_video", block)
+
+    # Driving QoE collapses relative to static.
+    if r.best_static_qoe is not None:
+        assert r.best_static_qoe > 70.0
+        assert r.qoe_cdf.median < r.best_static_qoe * 0.75
+    # A substantial fraction of negative-QoE runs.
+    assert r.negative_qoe_fraction > 0.1
+    # Rebuffering reaches deep ratios in the worst runs.
+    assert r.rebuffer_cdf.maximum > 0.3
+    assert abs(r.handover_correlation) < 0.7

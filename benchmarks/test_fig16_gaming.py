@@ -1,0 +1,46 @@
+"""Fig. 16 — cloud gaming over Verizon.
+
+Paper anchors: driving median send bitrate 17.5 Mbps vs best static 98.5;
+network latency always above the 17 ms static floor and above 200 ms for 20%
+of runs; frame drops low (median 1.6%, max 13.2%) because the adapter trades
+latency for continuity; no handover correlation.
+"""
+
+from repro.analysis.apps import gaming_app_report
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _compute(dataset):
+    return gaming_app_report(dataset, Operator.VERIZON)
+
+
+def test_fig16_gaming_verizon(benchmark, dataset, report):
+    r = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = [[
+        f"{r.bitrate_cdf.median:.1f}", "17.5",
+        f"{r.best_static_bitrate:.1f}" if r.best_static_bitrate is not None else "-", "98.5",
+        f"{r.latency_cdf.median:.0f}", ">17",
+        f"{100 * r.high_latency_run_fraction:.0f}%", "~20%",
+        f"{r.drop_rate_cdf.median:.1f}%", "1.6%",
+        f"{r.drop_rate_cdf.maximum:.1f}%", "13.2%",
+    ]]
+    block = render_table(
+        ["bitrate med", "paper", "static bitrate", "paper",
+         "latency med (ms)", "paper", ">200ms runs", "paper",
+         "drop med", "paper", "drop max", "paper"],
+        rows, title="Fig. 16: cloud gaming (Verizon)",
+    )
+    block += f"\nhandover-bitrate Pearson r: {r.handover_correlation:+.2f} (paper: none)"
+    report("fig16_gaming", block)
+
+    if r.best_static_bitrate is not None:
+        assert r.best_static_bitrate > 80.0
+        assert r.bitrate_cdf.median < r.best_static_bitrate * 0.6
+    # Latency always above the static floor.
+    assert r.latency_cdf.minimum > 17.0
+    # Drops stay low overall but have a heavy-ish tail.
+    assert r.drop_rate_cdf.median < 8.0
+    assert r.drop_rate_cdf.maximum < 40.0
+    assert abs(r.handover_correlation) < 0.7

@@ -1,0 +1,52 @@
+"""Fig. 1 — coverage along the route: handover-logger vs XCAL views.
+
+The paper's headline methodology finding: the passive handover-logger sees a
+far more pessimistic technology distribution than XCAL under active traffic —
+for AT&T, *only* LTE/LTE-A along the entire route (Fig. 1d); for T-Mobile the
+two views agree in the east half and diverge in the west (Figs. 1c/1f).
+"""
+
+from repro.analysis import coverage
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _views(dataset):
+    out = {}
+    for op in Operator:
+        out[op] = (
+            coverage.passive_coverage_shares(dataset, op),
+            coverage.active_coverage_shares(dataset, op),
+        )
+    return out
+
+
+def test_fig1_passive_vs_active_views(benchmark, dataset, report):
+    views = benchmark.pedantic(_views, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for op, (passive, active) in views.items():
+        rows.append([
+            op.label,
+            f"{100 * passive.share_5g:.1f}%",
+            f"{100 * active.share_5g:.1f}%",
+            "0% / ~20%" if op is Operator.ATT else "low / high",
+        ])
+    report(
+        "fig1_coverage_views",
+        render_table(
+            ["operator", "passive 5G share", "active 5G share", "paper (passive/active)"],
+            rows,
+            title="Fig. 1: 5G share of miles, handover-logger vs XCAL view",
+        ),
+    )
+
+    for op, (passive, active) in views.items():
+        assert passive.share_5g < active.share_5g, op
+    # Fig. 1d: AT&T's passive view is LTE/LTE-A only.
+    assert views[Operator.ATT][0].share_5g < 0.02
+    # Route strips render for both views and span the whole route.
+    strip_passive = coverage.route_technology_strip(dataset, Operator.TMOBILE, "passive")
+    strip_active = coverage.route_technology_strip(dataset, Operator.TMOBILE, "active")
+    assert len(strip_passive) > 500
+    assert len(strip_active) > 500

@@ -1,0 +1,44 @@
+"""Fig. 21 — 360° video streaming across all three operators (Appendix D.2).
+
+Paper anchors: all operators achieve similar QoE / rebuffering / bitrate,
+with T-Mobile slightly ahead on rebuffering and bitrate; technology has
+little impact for T-Mobile.
+"""
+
+from repro.analysis.apps import video_app_report
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _compute(dataset):
+    return {op: video_app_report(dataset, op) for op in Operator}
+
+
+def test_fig21_video_all_operators(benchmark, dataset, report):
+    results = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for op, r in results.items():
+        rows.append([
+            op.label,
+            f"{r.qoe_cdf.median:.1f}",
+            f"{r.bitrate_cdf.median:.1f}",
+            f"{100 * r.rebuffer_cdf.median:.1f}%",
+            f"{100 * r.negative_qoe_fraction:.0f}%",
+        ])
+    report(
+        "fig21_video_all_ops",
+        render_table(
+            ["operator", "QoE med", "bitrate med (Mbps)", "rebuffer med", "neg-QoE runs"],
+            rows, title="Fig. 21: 360° video across operators",
+        ),
+    )
+
+    # Same-ballpark QoE across operators (paper: similar for all three).
+    medians = [r.qoe_cdf.median for r in results.values()]
+    assert max(medians) - min(medians) < 120.0
+    # Every operator suffers negative-QoE runs while driving.
+    assert all(r.negative_qoe_fraction > 0.0 for r in results.values())
+    # Rebuffer ratios stay in [0, 1].
+    for r in results.values():
+        assert 0.0 <= r.rebuffer_cdf.maximum <= 1.0

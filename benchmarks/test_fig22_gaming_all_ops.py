@@ -1,0 +1,48 @@
+"""Fig. 22 — cloud gaming across all three operators (Appendix E.2).
+
+Paper anchors: median bitrates 19/21/9 Mbps (V/T/A); median network latencies
+all ≈50 ms; Verizon shows occasional extreme latencies; drop rates similar
+for V and A with T-Mobile showing the worst extremes.
+"""
+
+from repro.analysis.apps import gaming_app_report
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+PAPER_BITRATE = {Operator.VERIZON: 19.0, Operator.TMOBILE: 21.0, Operator.ATT: 9.0}
+
+
+def _compute(dataset):
+    return {op: gaming_app_report(dataset, op) for op in Operator}
+
+
+def test_fig22_gaming_all_operators(benchmark, dataset, report):
+    results = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for op, r in results.items():
+        rows.append([
+            op.label,
+            f"{r.bitrate_cdf.median:.1f}", f"{PAPER_BITRATE[op]:.0f}",
+            f"{r.latency_cdf.median:.0f}", "~50",
+            f"{r.drop_rate_cdf.median:.1f}%",
+            f"{r.drop_rate_cdf.maximum:.1f}%",
+        ])
+    report(
+        "fig22_gaming_all_ops",
+        render_table(
+            ["operator", "bitrate med", "paper", "latency med (ms)", "paper",
+             "drop med", "drop max"],
+            rows, title="Fig. 22: cloud gaming across operators",
+        ),
+    )
+
+    # Bitrates in the paper's tens-of-Mbps driving regime.
+    for op, r in results.items():
+        assert 3.0 < r.bitrate_cdf.median < 60.0, op
+    # Latency medians in a plausible band around the paper's ~50 ms.
+    for op, r in results.items():
+        assert 20.0 < r.latency_cdf.median < 150.0, op
+    # Drop-rate medians stay low for every operator.
+    for r in results.values():
+        assert r.drop_rate_cdf.median < 8.0

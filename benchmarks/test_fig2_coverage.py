@@ -1,0 +1,102 @@
+"""Fig. 2 — technology coverage as % of miles driven.
+
+Paper anchors (Fig. 2a): T-Mobile 68% 5G (38% high-speed); Verizon and AT&T
+~18-22% 5G; AT&T high-speed 5G ≈3%.  Fig. 2b: high-speed 5G higher in the
+downlink.  Fig. 2c: Verizon stronger in the east, AT&T collapsed in
+Mountain/Central, T-Mobile's Pacific midband.  Fig. 2d: Verizon's high-speed
+5G falls from ~43% (0-20 mph) to ~13% (60+ mph).
+"""
+
+from repro.analysis import coverage
+from repro.geo.timezones import Timezone
+from repro.radio.operators import Operator
+from repro.radio.technology import ALL_TECHNOLOGIES
+from repro.reporting.tables import render_table
+from repro.units import SPEED_BIN_LABELS
+
+PAPER_5G_SHARE = {Operator.VERIZON: 0.20, Operator.TMOBILE: 0.68, Operator.ATT: 0.20}
+PAPER_HS_SHARE = {Operator.VERIZON: 0.10, Operator.TMOBILE: 0.38, Operator.ATT: 0.03}
+
+
+def _all_views(dataset):
+    return {
+        "overall": {op: coverage.active_coverage_shares(dataset, op) for op in Operator},
+        "by_direction": {op: coverage.coverage_by_direction(dataset, op) for op in Operator},
+        "by_timezone": {op: coverage.coverage_by_timezone(dataset, op) for op in Operator},
+        "by_speed": {op: coverage.coverage_by_speed_bin(dataset, op) for op in Operator},
+    }
+
+
+def test_fig2_technology_coverage(benchmark, dataset, report):
+    views = benchmark.pedantic(_all_views, args=(dataset,), rounds=1, iterations=1)
+
+    # Fig. 2a table.
+    rows = []
+    for op, shares in views["overall"].items():
+        row = [op.label]
+        row += [f"{shares.percent(t):.1f}%" for t in ALL_TECHNOLOGIES]
+        row += [f"{100 * shares.share_5g:.0f}%", f"{100 * PAPER_5G_SHARE[op]:.0f}%",
+                f"{100 * shares.share_high_speed_5g:.0f}%", f"{100 * PAPER_HS_SHARE[op]:.0f}%"]
+        rows.append(row)
+    headers = ["operator"] + [t.label for t in ALL_TECHNOLOGIES] + [
+        "5G", "paper 5G", "HS-5G", "paper HS-5G"
+    ]
+    block = render_table(headers, rows, title="Fig. 2a: coverage by technology (% of miles)")
+
+    # Fig. 2b: DL vs UL high-speed 5G.
+    rows_b = []
+    for op, by_dir in views["by_direction"].items():
+        rows_b.append([
+            op.label,
+            f"{100 * by_dir['downlink'].share_high_speed_5g:.1f}%",
+            f"{100 * by_dir['uplink'].share_high_speed_5g:.1f}%",
+        ])
+    block += "\n\n" + render_table(
+        ["operator", "HS-5G downlink", "HS-5G uplink"], rows_b,
+        title="Fig. 2b: high-speed-5G share by traffic direction",
+    )
+
+    # Fig. 2c: 5G share per timezone.
+    rows_c = []
+    for op, by_tz in views["by_timezone"].items():
+        rows_c.append(
+            [op.label] + [
+                f"{100 * by_tz[tz].share_5g:.0f}%" if tz in by_tz else "-"
+                for tz in Timezone
+            ]
+        )
+    block += "\n\n" + render_table(
+        ["operator"] + [tz.label for tz in Timezone], rows_c,
+        title="Fig. 2c: 5G share per timezone",
+    )
+
+    # Fig. 2d: high-speed 5G per speed bin.
+    rows_d = []
+    for op, by_bin in views["by_speed"].items():
+        rows_d.append(
+            [op.label] + [
+                f"{100 * by_bin[b].share_high_speed_5g:.0f}%" if b in by_bin else "-"
+                for b in SPEED_BIN_LABELS
+            ]
+        )
+    block += "\n\n" + render_table(
+        ["operator"] + list(SPEED_BIN_LABELS), rows_d,
+        title="Fig. 2d: high-speed-5G share per speed bin (paper V: 43%→13%)",
+    )
+    report("fig2_coverage", block)
+
+    # --- shape assertions --------------------------------------------------
+    overall = views["overall"]
+    assert overall[Operator.TMOBILE].share_5g > 0.5
+    assert overall[Operator.VERIZON].share_5g < 0.35
+    assert overall[Operator.ATT].share_5g < 0.35
+    assert overall[Operator.ATT].share_high_speed_5g < 0.08
+    assert overall[Operator.TMOBILE].share_high_speed_5g > 0.25
+    # Fig. 2b aggregated: downlink shows more high-speed 5G.
+    dl = sum(v["downlink"].share_high_speed_5g for v in views["by_direction"].values())
+    ul = sum(v["uplink"].share_high_speed_5g for v in views["by_direction"].values())
+    assert dl > ul
+    # Fig. 2d: Verizon city vs highway high-speed share.
+    v_bins = views["by_speed"][Operator.VERIZON]
+    if "0-20 mph" in v_bins and "60+ mph" in v_bins:
+        assert v_bins["0-20 mph"].share_high_speed_5g > v_bins["60+ mph"].share_high_speed_5g

@@ -1,0 +1,61 @@
+"""Fig. 3 — static vs driving throughput/RTT CDFs.
+
+Paper anchors: static DL medians 1511/311/710 Mbps (V/T/A), static UL
+167/39/62 Mbps; driving DL medians collapse to 6-34 Mbps (1-5% of static),
+~35% of samples below 5 Mbps; driving RTT medians 60-76 ms with multi-second
+maxima.
+"""
+
+from repro.analysis.performance import static_vs_driving
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+PAPER_STATIC_DL = {Operator.VERIZON: 1511.0, Operator.TMOBILE: 311.0, Operator.ATT: 710.0}
+PAPER_STATIC_UL = {Operator.VERIZON: 167.0, Operator.TMOBILE: 39.0, Operator.ATT: 62.0}
+
+
+def _all(dataset):
+    return {op: static_vs_driving(dataset, op) for op in Operator}
+
+
+def test_fig3_static_vs_driving(benchmark, dataset, report):
+    results = benchmark.pedantic(_all, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for op, r in results.items():
+        rows.append([
+            op.label,
+            f"{r.static_dl.median:.0f}", f"{PAPER_STATIC_DL[op]:.0f}",
+            f"{r.static_ul.median:.0f}", f"{PAPER_STATIC_UL[op]:.0f}",
+            f"{r.driving_dl.median:.1f}", "6-34",
+            f"{r.driving_ul.median:.1f}", "6-9",
+            f"{100 * r.driving_dl.prob_below(5.0):.0f}%", "~35%",
+            f"{r.driving_rtt.median:.0f}", "60-76",
+            f"{r.driving_rtt.maximum:.0f}", "2000-3000",
+        ])
+    report(
+        "fig3_static_vs_driving",
+        render_table(
+            ["op", "statDL", "paper", "statUL", "paper", "drvDL med", "paper",
+             "drvUL med", "paper", "DL<5Mbps", "paper", "RTT med", "paper",
+             "RTT max", "paper"],
+            rows,
+            title="Fig. 3: static vs driving (medians, Mbps / ms)",
+        ),
+    )
+
+    for op, r in results.items():
+        # Driving collapses throughput to a few % of static.
+        assert r.driving_dl.median < 0.25 * r.static_dl.median
+        # Static ordering: Verizon > AT&T > T-Mobile in DL (paper Fig. 3a).
+    assert results[Operator.VERIZON].static_dl.median > results[Operator.ATT].static_dl.median
+    assert results[Operator.ATT].static_dl.median > results[Operator.TMOBILE].static_dl.median
+    # Static UL an order of magnitude below static DL.
+    for op, r in results.items():
+        assert r.static_ul.median < r.static_dl.median / 3
+    # Driving RTT medians in the paper's band, with a deep tail.
+    for op, r in results.items():
+        assert 45.0 < r.driving_rtt.median < 110.0
+    assert max(r.driving_rtt.maximum for r in results.values()) > 500.0
+    # A substantial sub-5 Mbps driving fraction.
+    assert max(r.driving_dl.prob_below(5.0) for r in results.values()) > 0.2

@@ -1,0 +1,57 @@
+"""Fig. 5 — throughput CDFs per timezone.
+
+Paper anchors: throughput is clearly higher in the Pacific timezone for all
+carriers (except AT&T DL, highest in the Eastern zone); the Mountain zone is
+weak for everyone; higher coverage does not always mean higher performance
+(Verizon is weakest in the east where its 5G coverage is highest).
+"""
+
+from repro.analysis.geodiversity import throughput_by_timezone
+from repro.geo.timezones import Timezone
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def _compute(dataset):
+    return {
+        (op, d): throughput_by_timezone(dataset, op, d)
+        for op in Operator
+        for d in ("downlink", "uplink")
+    }
+
+
+def test_fig5_throughput_by_timezone(benchmark, dataset, report):
+    results = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    blocks = []
+    for direction in ("downlink", "uplink"):
+        rows = []
+        for op in Operator:
+            by_tz = results[(op, direction)]
+            rows.append(
+                [op.label] + [
+                    f"{by_tz[tz].median:.1f}" if tz in by_tz else "-"
+                    for tz in Timezone
+                ]
+            )
+        blocks.append(render_table(
+            ["operator"] + [tz.label for tz in Timezone], rows,
+            title=f"Fig. 5 ({direction}): median throughput (Mbps) per timezone",
+        ))
+    report("fig5_timezones", "\n\n".join(blocks))
+
+    # Every operator/direction has CDFs in all four zones.
+    for key, by_tz in results.items():
+        assert len(by_tz) == 4, key
+    # Performance diversity across zones exists in the downlink; uplink
+    # differences are milder (UE-power-limited everywhere).
+    for op in Operator:
+        medians = [c.median for c in results[(op, "downlink")].values()]
+        assert max(medians) > 1.25 * min(medians), op
+        ul_medians = [c.median for c in results[(op, "uplink")].values()]
+        assert max(ul_medians) > 1.05 * min(ul_medians), op
+    # The Mountain zone is not AT&T's best DL zone (Fig. 2c: its 5G
+    # deployment collapses there).
+    att = results[(Operator.ATT, "downlink")]
+    best = max(att, key=lambda tz: att[tz].median)
+    assert best is not Timezone.MOUNTAIN

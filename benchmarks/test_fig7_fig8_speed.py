@@ -1,0 +1,69 @@
+"""Figs. 7-8 — throughput and RTT against vehicle speed, by technology.
+
+Paper anchors: mmWave points concentrate at low speeds (cities); several
+100s of Mbps remain possible at 60+ mph (midband along highways, V and T);
+throughput-speed correlation is weak; RTT grows with speed for Verizon and
+T-Mobile but not AT&T, whose 4G RTTs are high in every bin.
+"""
+
+import numpy as np
+
+from repro.analysis.correlation import rtt_speed_scatter, throughput_speed_scatter
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+from repro.reporting.tables import render_table
+from repro.units import SPEED_BIN_LABELS
+
+
+def _compute(dataset):
+    tput = {
+        op: throughput_speed_scatter(dataset, op, "downlink") for op in Operator
+    }
+    rtt = {op: rtt_speed_scatter(dataset, op) for op in Operator}
+    return tput, rtt
+
+
+def _bin_median(points, label, value_index=1):
+    values = [p[value_index] for p in points if p[3] == label]
+    return float(np.median(values)) if values else float("nan")
+
+
+def test_fig7_fig8_speed_breakdown(benchmark, dataset, report):
+    tput, rtt = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for op in Operator:
+        rows.append(
+            [f"{op.code} tput (Mbps)"]
+            + [f"{_bin_median(tput[op], b):.1f}" for b in SPEED_BIN_LABELS]
+        )
+        rows.append(
+            [f"{op.code} RTT (ms)"]
+            + [f"{_bin_median(rtt[op], b):.0f}" for b in SPEED_BIN_LABELS]
+        )
+    report(
+        "fig7_fig8_speed",
+        render_table(
+            ["metric"] + list(SPEED_BIN_LABELS), rows,
+            title="Figs. 7-8: medians per speed bin (downlink tput / RTT)",
+        ),
+    )
+
+    # mmWave throughput points concentrate at low speed (Fig. 7).
+    for op in (Operator.VERIZON, Operator.ATT):
+        mm_points = [p for p in tput[op] if p[2] is RadioTechnology.NR_MMWAVE]
+        if len(mm_points) >= 5:
+            speeds = [p[0] for p in mm_points]
+            assert float(np.median(speeds)) < 30.0, op
+    # High-value points persist at 60+ mph for V and T (midband highways).
+    for op in (Operator.VERIZON, Operator.TMOBILE):
+        fast = [p[1] for p in tput[op] if p[3] == "60+ mph"]
+        assert max(fast) > 80.0, op
+    # RTT-speed response: Verizon/T-Mobile grow, AT&T stays flat (Fig. 8).
+    for op in (Operator.VERIZON, Operator.TMOBILE):
+        low = _bin_median(rtt[op], "0-20 mph")
+        high = _bin_median(rtt[op], "60+ mph")
+        assert high > low, op
+    att_gap = _bin_median(rtt[Operator.ATT], "60+ mph") - _bin_median(rtt[Operator.ATT], "0-20 mph")
+    vzw_gap = _bin_median(rtt[Operator.VERIZON], "60+ mph") - _bin_median(rtt[Operator.VERIZON], "0-20 mph")
+    assert att_gap < vzw_gap

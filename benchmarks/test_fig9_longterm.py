@@ -1,0 +1,58 @@
+"""Fig. 9 — per-test means and within-test fluctuation.
+
+Paper anchors: median per-test DL throughput 30/37/48 Mbps (V/T/A), UL
+13/14/10 Mbps, RTT 64/82/81 ms; within-test stddev 70/48/52% (DL), 45/52/44%
+(UL), 18/29/19% (RTT).
+"""
+
+from repro.analysis.longterm import per_test_rtt_stats, per_test_throughput_stats
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+PAPER_DL = {Operator.VERIZON: 30.0, Operator.TMOBILE: 37.0, Operator.ATT: 48.0}
+PAPER_UL = {Operator.VERIZON: 13.0, Operator.TMOBILE: 14.0, Operator.ATT: 10.0}
+PAPER_RTT = {Operator.VERIZON: 64.0, Operator.TMOBILE: 82.0, Operator.ATT: 81.0}
+
+
+def _compute(dataset):
+    return {
+        op: (
+            per_test_throughput_stats(dataset, op, "downlink"),
+            per_test_throughput_stats(dataset, op, "uplink"),
+            per_test_rtt_stats(dataset, op),
+        )
+        for op in Operator
+    }
+
+
+def test_fig9_per_test_statistics(benchmark, dataset, report):
+    results = benchmark.pedantic(_compute, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for op, (dl, ul, rtt) in results.items():
+        rows.append([
+            op.label,
+            f"{dl.median_mean:.1f}", f"{PAPER_DL[op]:.0f}",
+            f"{ul.median_mean:.1f}", f"{PAPER_UL[op]:.0f}",
+            f"{rtt.median_mean:.0f}", f"{PAPER_RTT[op]:.0f}",
+            f"{dl.median_stddev_pct:.0f}%", "48-70%",
+            f"{rtt.median_stddev_pct:.0f}%", "18-29%",
+        ])
+    report(
+        "fig9_longterm",
+        render_table(
+            ["operator", "DL med", "paper", "UL med", "paper", "RTT med", "paper",
+             "DL std%", "paper", "RTT std%", "paper"],
+            rows,
+            title="Fig. 9: per-test means (Mbps / ms) and within-test stddev",
+        ),
+    )
+
+    for op, (dl, ul, rtt) in results.items():
+        # Medians within a factor ~3 of the paper's.
+        assert PAPER_DL[op] / 3.5 < dl.median_mean < PAPER_DL[op] * 3.5, op
+        assert PAPER_UL[op] / 3.5 < ul.median_mean < PAPER_UL[op] * 3.5, op
+        assert PAPER_RTT[op] * 0.6 < rtt.median_mean < PAPER_RTT[op] * 1.5, op
+        # Fluctuation ordering: throughput varies far more than RTT.
+        assert dl.median_stddev_pct > rtt.median_stddev_pct, op
+        assert dl.median_stddev_pct > 25.0, op

@@ -1,0 +1,51 @@
+"""Table 1 — dataset statistics.
+
+Paper values: 5711+ km; cells 3020/4038/3150 (V/T/A); handovers
+2657/4119/2494; 777+ GB Rx / 83+ GB Tx; runtime 5561/4595/4541 min.
+Byte volumes and runtimes scale with the campaign's duty cycle
+(``BENCH_SCALE``), so we compare them scaled.
+"""
+
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+PAPER = {
+    "distance_km": 5711.0,
+    "cells": {Operator.VERIZON: 3020, Operator.TMOBILE: 4038, Operator.ATT: 3150},
+    "handovers": {Operator.VERIZON: 2657, Operator.TMOBILE: 4119, Operator.ATT: 2494},
+    "rx_gb": 777.0,
+    "tx_gb": 83.0,
+}
+
+
+def test_table1_dataset_statistics(benchmark, dataset, report):
+    summary = benchmark.pedantic(dataset.summary, rounds=1, iterations=1)
+
+    rows = [
+        ["distance (km)", f"{summary.total_distance_km:.0f}", f"{PAPER['distance_km']:.0f}+"],
+        ["Rx volume (GB)", f"{summary.total_rx_gb:.0f}", f"{PAPER['rx_gb']:.0f}+ (full scale)"],
+        ["Tx volume (GB)", f"{summary.total_tx_gb:.0f}", f"{PAPER['tx_gb']:.0f}+ (full scale)"],
+    ]
+    for op in Operator:
+        rows.append(
+            [f"unique cells ({op.code})", summary.unique_cells[op], PAPER["cells"][op]]
+        )
+        rows.append(
+            [f"handovers ({op.code})", summary.handovers[op], PAPER["handovers"][op]]
+        )
+        rows.append(
+            [f"runtime ({op.code}, min)", f"{summary.runtime_min[op]:.0f}", "4541-5561 (full scale)"]
+        )
+    report(
+        "table1_dataset",
+        render_table(["statistic", "ours", "paper"], rows, title="Table 1: dataset statistics"),
+    )
+
+    assert summary.total_distance_km > 5700.0
+    # Trip-wide handover ordering and magnitude (dominated by the passive
+    # loggers, which run at full scale regardless of the duty cycle).
+    assert summary.handovers[Operator.TMOBILE] > summary.handovers[Operator.VERIZON]
+    assert summary.handovers[Operator.TMOBILE] > summary.handovers[Operator.ATT]
+    for op in Operator:
+        assert 0.5 * PAPER["handovers"][op] < summary.handovers[op] < 2.0 * PAPER["handovers"][op]
+    assert summary.total_rx_gb > summary.total_tx_gb

@@ -1,0 +1,55 @@
+"""Tables 4 and 5 — AR/CAV configurations and the latency→mAP model.
+
+Table 4 is a configuration table; we assert our app configs carry it
+verbatim.  Table 5 is the offline accuracy study; we regenerate the mAP
+column over the full latency range and check it against the paper's rows.
+"""
+
+from repro.apps.accuracy import LOCAL_TRACKING_TABLE, map_for_latency
+from repro.apps.offload import AR_CONFIG, CAV_CONFIG
+from repro.reporting.tables import render_table
+
+#: Table 5 spot rows: (bin, mAP w/o compression, mAP w/ compression).
+TABLE5_SPOT = [(0, 38.45, 38.45), (5, 32.20, 30.50), (10, 25.77, 24.35),
+               (20, 17.52, 17.00), (29, 14.05, 13.70)]
+
+
+def _regenerate_table5():
+    return [
+        (b, map_for_latency(b + 0.5, False), map_for_latency(b + 0.5, True))
+        for b in range(30)
+    ]
+
+
+def test_table4_and_table5(benchmark, report):
+    table = benchmark.pedantic(_regenerate_table5, rounds=1, iterations=1)
+
+    rows4 = [
+        ["FPS", AR_CONFIG.fps, CAV_CONFIG.fps],
+        ["raw frame (KB)", AR_CONFIG.raw_frame_kb, CAV_CONFIG.raw_frame_kb],
+        ["compressed frame (KB)", AR_CONFIG.compressed_frame_kb, CAV_CONFIG.compressed_frame_kb],
+        ["compression time (ms)", AR_CONFIG.compress_ms, CAV_CONFIG.compress_ms],
+        ["inference time (ms)", AR_CONFIG.inference_ms, CAV_CONFIG.inference_ms],
+        ["decompression time (ms)", AR_CONFIG.decompress_ms, CAV_CONFIG.decompress_ms],
+        ["run duration (s)", AR_CONFIG.duration_s, CAV_CONFIG.duration_s],
+    ]
+    block = render_table(["parameter", "AR", "CAV"], rows4, title="Table 4: app configurations")
+    rows5 = [[f"{b}-{b + 1}", f"{wo:.2f}", f"{wc:.2f}"] for b, wo, wc in table[:10]]
+    block += "\n\n" + render_table(
+        ["E2E bin (frames)", "mAP w/o comp", "mAP w/ comp"], rows5,
+        title="Table 5 (first 10 bins)",
+    )
+    report("table4_table5_app_configs", block)
+
+    # Table 4 verbatim.
+    assert (AR_CONFIG.fps, CAV_CONFIG.fps) == (30.0, 10.0)
+    assert (AR_CONFIG.raw_frame_kb, CAV_CONFIG.raw_frame_kb) == (450.0, 2000.0)
+    assert (AR_CONFIG.compressed_frame_kb, CAV_CONFIG.compressed_frame_kb) == (50.0, 38.0)
+    assert (AR_CONFIG.compress_ms, CAV_CONFIG.compress_ms) == (6.3, 34.8)
+    assert (AR_CONFIG.inference_ms, CAV_CONFIG.inference_ms) == (24.9, 44.0)
+    assert (AR_CONFIG.decompress_ms, CAV_CONFIG.decompress_ms) == (1.0, 19.1)
+    # Table 5 verbatim (all 30 bins) and spot values.
+    assert len(LOCAL_TRACKING_TABLE) == 30
+    for b, wo, wc in TABLE5_SPOT:
+        assert table[b][1] == wo
+        assert table[b][2] == wc

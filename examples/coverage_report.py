@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""§4 reproduction: technology coverage along the cross-country route.
+
+Prints the paper's Fig. 1 contrast (passive handover-logger vs active XCAL
+views), the Fig. 2a technology shares, and the Fig. 2b/2c/2d breakdowns by
+traffic direction, timezone and speed bin.
+
+Run:
+    python examples/coverage_report.py [--scale 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.analysis import coverage
+from repro.geo.timezones import Timezone
+from repro.radio.operators import Operator
+from repro.radio.technology import ALL_TECHNOLOGIES
+from repro.reporting.tables import render_table
+from repro.units import SPEED_BIN_LABELS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print("Generating campaign ...")
+    dataset = repro.generate_dataset(
+        seed=args.seed, scale=args.scale, include_apps=False
+    )
+
+    # Fig. 1: passive vs active view.
+    rows = []
+    for op in Operator:
+        passive = coverage.passive_coverage_shares(dataset, op)
+        active = coverage.active_coverage_shares(dataset, op)
+        rows.append([
+            op.label,
+            f"{100 * passive.share_5g:.1f}%",
+            f"{100 * active.share_5g:.1f}%",
+        ])
+    print()
+    print(render_table(
+        ["operator", "passive 5G share", "active 5G share"], rows,
+        title="Fig. 1: the passive handover-logger is far more pessimistic",
+    ))
+
+    # Fig. 1 strips (ASCII rendering of the paper's route maps).
+    from repro.reporting.strips import render_fig1
+
+    print()
+    print(render_fig1(dataset))
+
+    # Fig. 2a: full technology mix.
+    rows = []
+    for op in Operator:
+        shares = coverage.active_coverage_shares(dataset, op)
+        rows.append(
+            [op.label]
+            + [f"{shares.percent(t):.1f}%" for t in ALL_TECHNOLOGIES]
+            + [f"{100 * shares.share_5g:.0f}%", f"{100 * shares.share_high_speed_5g:.0f}%"]
+        )
+    print()
+    print(render_table(
+        ["operator"] + [t.label for t in ALL_TECHNOLOGIES] + ["5G total", "HS-5G"],
+        rows, title="Fig. 2a: coverage by technology (% of miles driven)",
+    ))
+
+    # Fig. 2b: by direction (high-speed 5G only).
+    rows = []
+    for op in Operator:
+        by_dir = coverage.coverage_by_direction(dataset, op)
+        rows.append([
+            op.label,
+            f"{100 * by_dir['downlink'].share_high_speed_5g:.1f}%",
+            f"{100 * by_dir['uplink'].share_high_speed_5g:.1f}%",
+        ])
+    print()
+    print(render_table(
+        ["operator", "HS-5G (downlink)", "HS-5G (uplink)"], rows,
+        title="Fig. 2b: operators prefer high-speed 5G for downlink backlogs",
+    ))
+
+    # Fig. 2c: 5G share per timezone.
+    rows = []
+    for op in Operator:
+        by_tz = coverage.coverage_by_timezone(dataset, op)
+        rows.append([op.label] + [
+            f"{100 * by_tz[tz].share_5g:.0f}%" if tz in by_tz else "-"
+            for tz in Timezone
+        ])
+    print()
+    print(render_table(
+        ["operator"] + [tz.label for tz in Timezone], rows,
+        title="Fig. 2c: 5G share per timezone",
+    ))
+
+    # Fig. 2d: high-speed-5G share per speed bin.
+    rows = []
+    for op in Operator:
+        by_bin = coverage.coverage_by_speed_bin(dataset, op)
+        rows.append([op.label] + [
+            f"{100 * by_bin[b].share_high_speed_5g:.0f}%" if b in by_bin else "-"
+            for b in SPEED_BIN_LABELS
+        ])
+    print()
+    print(render_table(
+        ["operator"] + list(SPEED_BIN_LABELS), rows,
+        title="Fig. 2d: high-speed 5G concentrates at city speeds",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""§6 reproduction: handover frequency, duration, and throughput impact.
+
+Prints Fig. 11's per-mile rates and durations and Fig. 12's ΔT1/ΔT2 impact
+distributions, including the per-type breakdown that explains why handovers
+barely correlate with throughput.
+
+Run:
+    python examples/handover_explorer.py [--scale 0.08]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.analysis.handovers import (
+    handover_durations,
+    handover_impact,
+    handovers_per_mile,
+)
+from repro.mobility.events import HandoverType
+from repro.radio.operators import Operator
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print("Generating campaign ...")
+    dataset = repro.generate_dataset(
+        seed=args.seed, scale=args.scale, include_apps=False, include_static=False
+    )
+
+    rows = []
+    for op in Operator:
+        for direction in ("downlink", "uplink"):
+            rate = handovers_per_mile(dataset, op, direction)
+            dur = handover_durations(dataset, op, direction)
+            rows.append([
+                f"{op.code} {direction[:2].upper()}",
+                f"{rate.median:.1f}", f"{rate.quantile(0.75):.1f}", f"{rate.maximum:.0f}",
+                f"{dur.median:.0f}", f"{dur.quantile(0.75):.0f}",
+            ])
+    print()
+    print(render_table(
+        ["op/dir", "HO/mile med", "p75", "max", "duration med (ms)", "p75"],
+        rows, title="Fig. 11: handover rates and durations",
+    ))
+
+    rows = []
+    for op in Operator:
+        impact = handover_impact(dataset, op, "downlink")
+        rows.append([
+            op.label,
+            impact.delta_t1.n,
+            f"{100 * impact.drop_fraction:.0f}%",
+            f"{impact.delta_t1.median:+.2f}",
+            f"{100 * impact.improvement_fraction:.0f}%",
+            f"{impact.delta_t2.median:+.2f}",
+        ])
+    print()
+    print(render_table(
+        ["operator", "handovers", "ΔT1<0 (drop)", "ΔT1 median",
+         "ΔT2>0 (improves)", "ΔT2 median"],
+        rows,
+        title="Fig. 12: throughput impact (Mbps; paper: drop ~80%, improve 55-60%)",
+    ))
+
+    # Per-type ΔT2 breakdown.
+    rows = []
+    for op in Operator:
+        impact = handover_impact(dataset, op, "downlink")
+        row = [op.label]
+        for ho_type in HandoverType:
+            cdf = impact.delta_t2_by_type.get(ho_type)
+            row.append(f"{cdf.median:+.1f} (n={cdf.n})" if cdf else "-")
+        rows.append(row)
+    print()
+    print(render_table(
+        ["operator"] + [str(t) for t in HandoverType], rows,
+        title="ΔT2 median by handover type (paper: 5G→4G hurts, 4G→5G helps)",
+    ))
+    print("\nThe combination of low rates, ~60 ms durations and offsetting"
+          "\nΔT1/ΔT2 explains the near-zero throughput-handover correlation"
+          "\n(Table 2).")
+
+
+if __name__ == "__main__":
+    main()

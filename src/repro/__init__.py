@@ -1,0 +1,41 @@
+"""repro — reproduction of *Performance of Cellular Networks on the Wheels*
+(ACM IMC 2023).
+
+The library has three layers:
+
+1. **Substrate** (:mod:`repro.geo`, :mod:`repro.radio`, :mod:`repro.policy`,
+   :mod:`repro.mobility`, :mod:`repro.net`): a synthetic but calibrated model
+   of the cross-country drive, the three carriers' radio deployments and
+   policies, and the end-to-end network path.
+2. **Campaign** (:mod:`repro.campaign`, :mod:`repro.apps`): the round-robin
+   measurement methodology of the paper — TCP throughput, RTT, AR/CAV
+   offloading, 360° video, cloud gaming — generating a
+   :class:`~repro.campaign.dataset.DriveDataset`.
+3. **Analysis** (:mod:`repro.analysis`): the paper's cross-layer analysis
+   pipeline, one module per section, regenerating every table and figure.
+
+Quickstart::
+
+    import repro
+    dataset = repro.generate_dataset(seed=42, scale=0.05)
+    print(dataset.summary())
+"""
+
+from repro.campaign.runner import CampaignConfig, DriveCampaign, generate_dataset
+from repro.campaign.dataset import DriveDataset
+from repro.geo.route import build_cross_country_route
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignConfig",
+    "DriveCampaign",
+    "DriveDataset",
+    "generate_dataset",
+    "build_cross_country_route",
+    "Operator",
+    "RadioTechnology",
+    "__version__",
+]

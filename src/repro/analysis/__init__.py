@@ -1,0 +1,17 @@
+"""The paper's analysis pipeline, one module per section:
+
+* :mod:`repro.analysis.cdf` — empirical CDF machinery used everywhere
+* :mod:`repro.analysis.coverage` — §4, Figs. 1-2
+* :mod:`repro.analysis.performance` — §5.1-5.2, Figs. 3-4
+* :mod:`repro.analysis.geodiversity` — §5.3, Fig. 5
+* :mod:`repro.analysis.opdiversity` — §5.4, Fig. 6
+* :mod:`repro.analysis.correlation` — §5.5, Table 2, Figs. 7-8
+* :mod:`repro.analysis.longterm` — §5.6, Figs. 9-10
+* :mod:`repro.analysis.ookla` — §5.6, Table 3
+* :mod:`repro.analysis.handovers` — §6, Figs. 11-12
+* :mod:`repro.analysis.apps` — §7, Figs. 13-16 and 18-22
+"""
+
+from repro.analysis.cdf import EmpiricalCDF
+
+__all__ = ["EmpiricalCDF"]

@@ -1,0 +1,227 @@
+"""§7 — application QoE analysis (Figs. 13-16 for Verizon, 18-22 for all).
+
+Each figure in §7 combines three views per app:
+
+* CDFs of the run-level metric(s) during driving, split by configuration
+  (e.g. with/without frame compression), with the *best static run* marked;
+* the metric against the fraction of the run spent on high-speed 5G,
+  split by server kind (edge vs cloud) where applicable;
+* the metric against the number of handovers in the run (the paper's
+  no-correlation finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.campaign.dataset import DriveDataset, OffloadRunResult
+from repro.campaign.tests import TestType
+from repro.errors import AnalysisError
+from repro.net.servers import ServerKind
+from repro.radio.operators import Operator
+
+__all__ = [
+    "OffloadAppReport",
+    "offload_app_report",
+    "VideoAppReport",
+    "video_app_report",
+    "GamingAppReport",
+    "gaming_app_report",
+    "metric_handover_correlation",
+]
+
+
+def _finite(values: list[float]) -> list[float]:
+    return [v for v in values if np.isfinite(v)]
+
+
+@dataclass(frozen=True)
+class OffloadAppReport:
+    """Figs. 13/14 (and 18-20) for one operator and app."""
+
+    operator: Operator
+    app: TestType
+    #: Driving E2E latency CDFs, keyed by compression on/off.
+    e2e_cdf: dict[bool, EmpiricalCDF]
+    #: Driving offloaded-FPS CDFs, keyed by compression.
+    fps_cdf: dict[bool, EmpiricalCDF]
+    #: Best static run's mean E2E per compression setting (dashed line).
+    best_static_e2e_ms: dict[bool, float]
+    best_static_fps: dict[bool, float]
+    best_static_map: dict[bool, float]
+    #: (frac high-speed 5G, metric, server kind) scatter; metric is mAP for
+    #: AR and E2E latency for CAV.
+    metric_vs_hs5g: list[tuple[float, float, ServerKind]]
+    #: (handover count, metric) scatter.
+    metric_vs_handovers: list[tuple[int, float]]
+    #: Pearson r between handovers and the metric (the paper: none).
+    handover_correlation: float
+
+
+def _runs(
+    dataset: DriveDataset, operator: Operator, app: TestType, static: bool
+) -> list[OffloadRunResult]:
+    return [
+        r
+        for r in dataset.offload_runs
+        if r.operator is operator and r.app is app and r.static == static
+    ]
+
+
+def metric_handover_correlation(pairs: list[tuple[float, float]]) -> float:
+    """Pearson r for (handovers, metric) pairs; 0 when degenerate."""
+    if len(pairs) < 3:
+        return 0.0
+    x = np.asarray([p[0] for p in pairs], dtype=float)
+    y = np.asarray([p[1] for p in pairs], dtype=float)
+    mask = np.isfinite(x) & np.isfinite(y)
+    x, y = x[mask], y[mask]
+    if len(x) < 3 or np.std(x) == 0.0 or np.std(y) == 0.0:
+        return 0.0
+    return float(stats.pearsonr(x, y).statistic)
+
+
+def offload_app_report(
+    dataset: DriveDataset, operator: Operator, app: TestType
+) -> OffloadAppReport:
+    """Build the Fig. 13 (AR) or Fig. 14 (CAV) report for one operator."""
+    if app not in (TestType.AR, TestType.CAV):
+        raise AnalysisError(f"not an offload app: {app}")
+    driving = _runs(dataset, operator, app, static=False)
+    static = _runs(dataset, operator, app, static=True)
+    if not driving:
+        raise AnalysisError(f"no driving {app} runs for {operator}")
+
+    e2e_cdf: dict[bool, EmpiricalCDF] = {}
+    fps_cdf: dict[bool, EmpiricalCDF] = {}
+    best_e2e: dict[bool, float] = {}
+    best_fps: dict[bool, float] = {}
+    best_map: dict[bool, float] = {}
+    for compression in (False, True):
+        subset = [r for r in driving if r.compression == compression]
+        e2e_values = _finite([r.mean_e2e_ms for r in subset])
+        if e2e_values:
+            e2e_cdf[compression] = EmpiricalCDF.from_values(e2e_values)
+        fps_values = [r.offload_fps for r in subset]
+        if fps_values:
+            fps_cdf[compression] = EmpiricalCDF.from_values(fps_values)
+        s_subset = [r for r in static if r.compression == compression]
+        s_e2e = _finite([r.mean_e2e_ms for r in s_subset])
+        if s_e2e:
+            best = min(s_subset, key=lambda r: r.mean_e2e_ms)
+            best_e2e[compression] = best.mean_e2e_ms
+            best_fps[compression] = best.offload_fps
+            best_map[compression] = best.map_score
+
+    def metric(r: OffloadRunResult) -> float:
+        return r.map_score if app is TestType.AR else r.mean_e2e_ms
+
+    vs_hs5g = [
+        (r.frac_hs5g, metric(r), r.server_kind)
+        for r in driving
+        if np.isfinite(metric(r))
+    ]
+    vs_ho = [(r.ho_count, metric(r)) for r in driving if np.isfinite(metric(r))]
+    return OffloadAppReport(
+        operator=operator,
+        app=app,
+        e2e_cdf=e2e_cdf,
+        fps_cdf=fps_cdf,
+        best_static_e2e_ms=best_e2e,
+        best_static_fps=best_fps,
+        best_static_map=best_map,
+        metric_vs_hs5g=vs_hs5g,
+        metric_vs_handovers=vs_ho,
+        handover_correlation=metric_handover_correlation(
+            [(float(h), m) for h, m in vs_ho]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class VideoAppReport:
+    """Fig. 15 (and Fig. 21) for one operator."""
+
+    operator: Operator
+    qoe_cdf: EmpiricalCDF
+    bitrate_cdf: EmpiricalCDF
+    rebuffer_cdf: EmpiricalCDF
+    best_static_qoe: float | None
+    negative_qoe_fraction: float
+    qoe_vs_hs5g: list[tuple[float, float, ServerKind]]
+    qoe_vs_handovers: list[tuple[int, float]]
+    handover_correlation: float
+
+
+def video_app_report(dataset: DriveDataset, operator: Operator) -> VideoAppReport:
+    """Build the Fig. 15 report for one operator."""
+    driving = [r for r in dataset.video_runs if r.operator is operator and not r.static]
+    static = [r for r in dataset.video_runs if r.operator is operator and r.static]
+    if not driving:
+        raise AnalysisError(f"no driving video runs for {operator}")
+    qoe = [r.qoe for r in driving]
+    vs_ho = [(r.ho_count, r.qoe) for r in driving]
+    return VideoAppReport(
+        operator=operator,
+        qoe_cdf=EmpiricalCDF.from_values(qoe),
+        bitrate_cdf=EmpiricalCDF.from_values([r.avg_bitrate_mbps for r in driving]),
+        rebuffer_cdf=EmpiricalCDF.from_values([r.rebuffer_ratio for r in driving]),
+        best_static_qoe=max((r.qoe for r in static), default=None),
+        negative_qoe_fraction=float(np.mean(np.asarray(qoe) < 0.0)),
+        qoe_vs_hs5g=[(r.frac_hs5g, r.qoe, r.server_kind) for r in driving],
+        qoe_vs_handovers=vs_ho,
+        handover_correlation=metric_handover_correlation(
+            [(float(h), q) for h, q in vs_ho]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class GamingAppReport:
+    """Fig. 16 (and Fig. 22) for one operator."""
+
+    operator: Operator
+    bitrate_cdf: EmpiricalCDF
+    latency_cdf: EmpiricalCDF
+    drop_rate_cdf: EmpiricalCDF
+    best_static_bitrate: float | None
+    best_static_latency_ms: float | None
+    best_static_drop_rate: float | None
+    high_latency_run_fraction: float
+    bitrate_vs_hs5g: list[tuple[float, float]]
+    drops_vs_hs5g: list[tuple[float, float]]
+    bitrate_vs_handovers: list[tuple[int, float]]
+    handover_correlation: float
+
+
+def gaming_app_report(dataset: DriveDataset, operator: Operator) -> GamingAppReport:
+    """Build the Fig. 16 report for one operator."""
+    driving = [r for r in dataset.gaming_runs if r.operator is operator and not r.static]
+    static = [r for r in dataset.gaming_runs if r.operator is operator and r.static]
+    if not driving:
+        raise AnalysisError(f"no driving gaming runs for {operator}")
+    latencies = [r.median_latency_ms for r in driving]
+    vs_ho = [(r.ho_count, r.avg_bitrate_mbps) for r in driving]
+    best = max(static, key=lambda r: r.avg_bitrate_mbps, default=None)
+    return GamingAppReport(
+        operator=operator,
+        bitrate_cdf=EmpiricalCDF.from_values([r.avg_bitrate_mbps for r in driving]),
+        latency_cdf=EmpiricalCDF.from_values(latencies),
+        drop_rate_cdf=EmpiricalCDF.from_values(
+            [100.0 * r.frame_drop_rate for r in driving]
+        ),
+        best_static_bitrate=best.avg_bitrate_mbps if best else None,
+        best_static_latency_ms=best.median_latency_ms if best else None,
+        best_static_drop_rate=100.0 * best.frame_drop_rate if best else None,
+        high_latency_run_fraction=float(np.mean(np.asarray(latencies) > 200.0)),
+        bitrate_vs_hs5g=[(r.frac_hs5g, r.avg_bitrate_mbps) for r in driving],
+        drops_vs_hs5g=[(r.frac_hs5g, 100.0 * r.frame_drop_rate) for r in driving],
+        bitrate_vs_handovers=vs_ho,
+        handover_correlation=metric_handover_correlation(
+            [(float(h), b) for h, b in vs_ho]
+        ),
+    )

@@ -1,0 +1,98 @@
+"""Empirical CDF utilities.
+
+Almost every figure in the paper is a CDF; this module provides the one
+implementation all analyses share, plus quantile summaries used by the
+benchmark harness to print comparable rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["EmpiricalCDF", "summarize"]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """Empirical cumulative distribution of a sample.
+
+    Examples
+    --------
+    >>> cdf = EmpiricalCDF.from_values([1.0, 2.0, 3.0, 4.0])
+    >>> cdf.quantile(0.5)
+    2.5
+    >>> cdf.prob_below(2.5)
+    0.5
+    """
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def from_values(cls, values) -> "EmpiricalCDF":
+        arr = np.asarray(values, dtype=float)
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            raise AnalysisError("cannot build a CDF from an empty sample")
+        return cls(sorted_values=np.sort(arr))
+
+    @property
+    def n(self) -> int:
+        return int(self.sorted_values.size)
+
+    def quantile(self, q: float) -> float:
+        """Value at cumulative probability ``q`` (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.sorted_values, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def minimum(self) -> float:
+        return float(self.sorted_values[0])
+
+    @property
+    def maximum(self) -> float:
+        return float(self.sorted_values[-1])
+
+    @property
+    def mean(self) -> float:
+        return float(self.sorted_values.mean())
+
+    def prob_below(self, x: float) -> float:
+        """Empirical P(X < x)."""
+        return float(np.searchsorted(self.sorted_values, x, side="left")) / self.n
+
+    def prob_above(self, x: float) -> float:
+        """Empirical P(X > x)."""
+        return 1.0 - float(np.searchsorted(self.sorted_values, x, side="right")) / self.n
+
+    def series(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays for plotting; subsampled to ``points``."""
+        n = self.n
+        ys = (np.arange(1, n + 1)) / n
+        if n <= points:
+            return self.sorted_values.copy(), ys
+        idx = np.linspace(0, n - 1, points).astype(int)
+        return self.sorted_values[idx], ys[idx]
+
+
+def summarize(values, quantiles: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9)) -> dict[str, float]:
+    """Quantile summary dict used by the benchmark tables.
+
+    >>> s = summarize([1, 2, 3, 4])
+    >>> s['p50']
+    2.5
+    """
+    cdf = EmpiricalCDF.from_values(values)
+    out = {"n": float(cdf.n), "min": cdf.minimum, "max": cdf.maximum, "mean": cdf.mean}
+    for q in quantiles:
+        out[f"p{int(q * 100)}"] = cdf.quantile(q)
+    out["p50"] = cdf.quantile(0.5)
+    return out

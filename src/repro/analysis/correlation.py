@@ -1,0 +1,104 @@
+"""§5.5 — what drives throughput while driving? (Table 2, Figs. 7-8).
+
+Table 2 computes Pearson's correlation coefficient between the 500 ms
+throughput samples and five KPIs (primary-cell RSRP, primary-cell MCS,
+carrier-aggregation CC count, primary-cell BLER, number of handovers in the
+interval) plus the vehicle's speed, per operator and traffic direction.
+
+Figs. 7-8 are the technology-coloured scatter plots of throughput / RTT
+against speed, using the paper's three speed bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.campaign.dataset import DriveDataset
+from repro.errors import AnalysisError
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+from repro.units import speed_bin
+
+__all__ = [
+    "KPI_NAMES",
+    "CorrelationRow",
+    "kpi_correlations",
+    "correlation_table",
+    "throughput_speed_scatter",
+    "rtt_speed_scatter",
+]
+
+#: Table 2's column order.
+KPI_NAMES = ("RSRP", "MCS", "CA", "BLER", "Speed", "HO")
+
+
+@dataclass(frozen=True)
+class CorrelationRow:
+    """One (operator, direction) row of Table 2."""
+
+    operator: Operator
+    direction: str
+    coefficients: dict[str, float]
+    sample_count: int
+
+
+def kpi_correlations(
+    dataset: DriveDataset, operator: Operator, direction: str
+) -> CorrelationRow:
+    """Compute one row of Table 2."""
+    samples = dataset.tput(operator=operator, direction=direction, static=False)
+    if len(samples) < 10:
+        raise AnalysisError(f"too few samples for {operator} {direction}")
+    tput = np.asarray([s.tput_mbps for s in samples])
+    columns = {
+        "RSRP": np.asarray([s.rsrp_dbm for s in samples]),
+        "MCS": np.asarray([float(s.mcs) for s in samples]),
+        "CA": np.asarray([float(s.n_ccs) for s in samples]),
+        "BLER": np.asarray([s.bler for s in samples]),
+        "Speed": np.asarray([s.speed_mph for s in samples]),
+        "HO": np.asarray([float(s.ho_count) for s in samples]),
+    }
+    coeffs: dict[str, float] = {}
+    for name, col in columns.items():
+        if np.std(col) == 0.0 or np.std(tput) == 0.0:
+            coeffs[name] = 0.0
+            continue
+        coeffs[name] = float(stats.pearsonr(tput, col).statistic)
+    return CorrelationRow(
+        operator=operator,
+        direction=direction,
+        coefficients=coeffs,
+        sample_count=len(samples),
+    )
+
+
+def correlation_table(dataset: DriveDataset) -> list[CorrelationRow]:
+    """Table 2 — all six (operator, direction) rows."""
+    rows = []
+    for op in Operator:
+        for direction in ("downlink", "uplink"):
+            rows.append(kpi_correlations(dataset, op, direction))
+    return rows
+
+
+def throughput_speed_scatter(
+    dataset: DriveDataset, operator: Operator, direction: str
+) -> list[tuple[float, float, RadioTechnology, str]]:
+    """Fig. 7 — (speed, throughput, technology, speed-bin) scatter points."""
+    return [
+        (s.speed_mph, s.tput_mbps, s.tech, speed_bin(s.speed_mph))
+        for s in dataset.tput(operator=operator, direction=direction, static=False)
+    ]
+
+
+def rtt_speed_scatter(
+    dataset: DriveDataset, operator: Operator
+) -> list[tuple[float, float, RadioTechnology, str]]:
+    """Fig. 8 — (speed, RTT, technology, speed-bin) scatter points."""
+    return [
+        (s.speed_mph, s.rtt_ms, s.tech, speed_bin(s.speed_mph))
+        for s in dataset.rtts(operator=operator, static=False)
+    ]

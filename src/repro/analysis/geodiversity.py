@@ -1,0 +1,27 @@
+"""§5.3 — geo-diversity: throughput per timezone (Fig. 5)."""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.campaign.dataset import DriveDataset
+from repro.errors import AnalysisError
+from repro.geo.timezones import Timezone
+from repro.radio.operators import Operator
+
+__all__ = ["throughput_by_timezone"]
+
+
+def throughput_by_timezone(
+    dataset: DriveDataset, operator: Operator, direction: str
+) -> dict[Timezone, EmpiricalCDF]:
+    """Fig. 5 — driving throughput CDFs per timezone for one operator."""
+    out: dict[Timezone, EmpiricalCDF] = {}
+    for tz in Timezone:
+        values = dataset.tput_values(
+            operator=operator, direction=direction, static=False, timezone=tz
+        )
+        if len(values) >= 5:
+            out[tz] = EmpiricalCDF.from_values(values)
+    if not out:
+        raise AnalysisError(f"no samples for {operator} {direction} in any timezone")
+    return out

@@ -1,0 +1,154 @@
+"""§5.6 — performance over longer time scales (Figs. 9-10).
+
+Fig. 9 aggregates per test: the mean of each 30 s throughput test / 20 s RTT
+test, and the standard deviation expressed as a percentage of the mean
+(fluctuation *within* a test).  Fig. 10 plots each test's mean against the
+fraction of the test spent on high-speed 5G (mmWave or midband).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.campaign.dataset import DriveDataset
+from repro.campaign.tests import TestType
+from repro.errors import AnalysisError
+from repro.radio.operators import Operator
+from repro.radio.technology import HIGH_THROUGHPUT_TECHS
+
+__all__ = [
+    "PerTestStats",
+    "per_test_throughput_stats",
+    "per_test_rtt_stats",
+    "throughput_vs_hs5g_fraction",
+    "rtt_vs_hs5g_fraction",
+]
+
+
+@dataclass(frozen=True)
+class PerTestStats:
+    """Fig. 9 distributions for one operator and metric."""
+
+    operator: Operator
+    metric: str
+    means: EmpiricalCDF
+    #: Standard deviation as percent of the mean, per test.
+    stddev_pct: EmpiricalCDF
+
+    @property
+    def median_mean(self) -> float:
+        return self.means.median
+
+    @property
+    def median_stddev_pct(self) -> float:
+        return self.stddev_pct.median
+
+
+def _stats(values_per_test: list[np.ndarray], operator: Operator, metric: str) -> PerTestStats:
+    means, std_pcts = [], []
+    for values in values_per_test:
+        if len(values) < 4:
+            continue
+        mean = float(np.mean(values))
+        if mean <= 0.0:
+            continue
+        means.append(mean)
+        std_pcts.append(100.0 * float(np.std(values)) / mean)
+    if not means:
+        raise AnalysisError(f"no usable tests for {operator} {metric}")
+    return PerTestStats(
+        operator=operator,
+        metric=metric,
+        means=EmpiricalCDF.from_values(means),
+        stddev_pct=EmpiricalCDF.from_values(std_pcts),
+    )
+
+
+def _throughput_tests(
+    dataset: DriveDataset, operator: Operator, direction: str
+) -> dict[int, np.ndarray]:
+    test_type = (
+        TestType.DOWNLINK_THROUGHPUT if direction == "downlink" else TestType.UPLINK_THROUGHPUT
+    )
+    wanted = {
+        t.test_id for t in dataset.tests_of(test_type=test_type, operator=operator, static=False)
+    }
+    grouped: dict[int, list[float]] = {}
+    for s in dataset.throughput_samples:
+        if s.test_id in wanted:
+            grouped.setdefault(s.test_id, []).append(s.tput_mbps)
+    return {tid: np.asarray(v) for tid, v in grouped.items()}
+
+
+def per_test_throughput_stats(
+    dataset: DriveDataset, operator: Operator, direction: str
+) -> PerTestStats:
+    """Fig. 9 — per-test mean and stddev-% for 30 s throughput tests."""
+    grouped = _throughput_tests(dataset, operator, direction)
+    return _stats(list(grouped.values()), operator, f"tput_{direction}")
+
+
+def per_test_rtt_stats(dataset: DriveDataset, operator: Operator) -> PerTestStats:
+    """Fig. 9 — per-test mean and stddev-% for 20 s RTT tests."""
+    wanted = {
+        t.test_id
+        for t in dataset.tests_of(test_type=TestType.RTT, operator=operator, static=False)
+    }
+    grouped: dict[int, list[float]] = {}
+    for s in dataset.rtt_samples:
+        if s.test_id in wanted:
+            grouped.setdefault(s.test_id, []).append(s.rtt_ms)
+    return _stats([np.asarray(v) for v in grouped.values()], operator, "rtt")
+
+
+def _hs5g_fraction(samples: list) -> float:
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s.tech in HIGH_THROUGHPUT_TECHS) / len(samples)
+
+
+def throughput_vs_hs5g_fraction(
+    dataset: DriveDataset, operator: Operator, direction: str
+) -> list[tuple[float, float]]:
+    """Fig. 10a/10b — (high-speed-5G time fraction, mean throughput) per test."""
+    test_type = (
+        TestType.DOWNLINK_THROUGHPUT if direction == "downlink" else TestType.UPLINK_THROUGHPUT
+    )
+    wanted = {
+        t.test_id for t in dataset.tests_of(test_type=test_type, operator=operator, static=False)
+    }
+    grouped: dict[int, list] = {}
+    for s in dataset.throughput_samples:
+        if s.test_id in wanted:
+            grouped.setdefault(s.test_id, []).append(s)
+    points = []
+    for samples in grouped.values():
+        if len(samples) < 4:
+            continue
+        points.append(
+            (_hs5g_fraction(samples), float(np.mean([s.tput_mbps for s in samples])))
+        )
+    return points
+
+
+def rtt_vs_hs5g_fraction(dataset: DriveDataset, operator: Operator) -> list[tuple[float, float]]:
+    """Fig. 10c — (high-speed-5G time fraction, mean RTT) per RTT test."""
+    wanted = {
+        t.test_id
+        for t in dataset.tests_of(test_type=TestType.RTT, operator=operator, static=False)
+    }
+    grouped: dict[int, list] = {}
+    for s in dataset.rtt_samples:
+        if s.test_id in wanted:
+            grouped.setdefault(s.test_id, []).append(s)
+    points = []
+    for samples in grouped.values():
+        if len(samples) < 4:
+            continue
+        points.append(
+            (_hs5g_fraction(samples), float(np.mean([s.rtt_ms for s in samples])))
+        )
+    return points

@@ -1,0 +1,113 @@
+"""Multivariate KPI analysis — the paper's declared future work.
+
+§5.5 closes: *"An in-depth understanding of the impact of multiple KPIs on
+performance requires a multivariate analysis, which is part of our future
+work."*  This module performs that analysis on a dataset: ordinary least
+squares of log-throughput on the standardised KPI vector, reporting
+standardised coefficients (comparable across KPIs), the model's R², and the
+incremental R² each KPI contributes (its unique explanatory power) — the
+natural next step after Table 2's univariate view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign.dataset import DriveDataset
+from repro.errors import AnalysisError
+from repro.radio.operators import Operator
+
+__all__ = ["MultivariateFit", "fit_throughput_model", "multivariate_table"]
+
+#: KPI columns, mirroring Table 2 (handover count included for completeness).
+FEATURES = ("RSRP", "MCS", "CA", "BLER", "Speed", "HO")
+
+
+@dataclass(frozen=True)
+class MultivariateFit:
+    """An OLS fit of log-throughput on standardised KPIs."""
+
+    operator: Operator
+    direction: str
+    #: Standardised coefficients per KPI (effect of +1σ on log-throughput σ).
+    coefficients: dict[str, float]
+    r_squared: float
+    #: Drop in R² when the KPI is removed — its unique contribution.
+    incremental_r2: dict[str, float]
+    sample_count: int
+
+    @property
+    def dominant_kpi(self) -> str:
+        """The KPI with the largest unique contribution."""
+        return max(self.incremental_r2, key=lambda k: self.incremental_r2[k])
+
+
+def _design_matrix(samples) -> tuple[np.ndarray, np.ndarray]:
+    y = np.log(np.asarray([max(s.tput_mbps, 1e-3) for s in samples]))
+    X = np.column_stack([
+        [s.rsrp_dbm for s in samples],
+        [float(s.mcs) for s in samples],
+        [float(s.n_ccs) for s in samples],
+        [s.bler for s in samples],
+        [s.speed_mph for s in samples],
+        [float(s.ho_count) for s in samples],
+    ])
+    return X, y
+
+
+def _standardize(X: np.ndarray) -> np.ndarray:
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std == 0.0] = 1.0
+    return (X - mean) / std
+
+
+def _ols_r2(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+    A = np.column_stack([np.ones(len(y)), X])
+    beta, *_ = np.linalg.lstsq(A, y, rcond=None)
+    residuals = y - A @ beta
+    ss_res = float(residuals @ residuals)
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+    return beta[1:], r2
+
+
+def fit_throughput_model(
+    dataset: DriveDataset, operator: Operator, direction: str
+) -> MultivariateFit:
+    """Fit log(throughput) ~ standardised KPIs for one operator/direction."""
+    samples = dataset.tput(operator=operator, direction=direction, static=False)
+    if len(samples) < 30:
+        raise AnalysisError(
+            f"need at least 30 samples for a stable fit, got {len(samples)}"
+        )
+    X_raw, y = _design_matrix(samples)
+    X = _standardize(X_raw)
+    y_std = y.std()
+    y_norm = (y - y.mean()) / (y_std if y_std > 0 else 1.0)
+
+    beta, r2 = _ols_r2(X, y_norm)
+    incremental: dict[str, float] = {}
+    for i, name in enumerate(FEATURES):
+        reduced = np.delete(X, i, axis=1)
+        _, r2_reduced = _ols_r2(reduced, y_norm)
+        incremental[name] = max(r2 - r2_reduced, 0.0)
+    return MultivariateFit(
+        operator=operator,
+        direction=direction,
+        coefficients={name: float(b) for name, b in zip(FEATURES, beta)},
+        r_squared=r2,
+        incremental_r2=incremental,
+        sample_count=len(samples),
+    )
+
+
+def multivariate_table(dataset: DriveDataset) -> list[MultivariateFit]:
+    """All six (operator, direction) fits — the multivariate Table 2."""
+    return [
+        fit_throughput_model(dataset, op, d)
+        for op in Operator
+        for d in ("downlink", "uplink")
+    ]

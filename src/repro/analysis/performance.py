@@ -1,0 +1,129 @@
+"""§5.1–5.2 — network performance: static vs driving, per-technology (Figs. 3-4).
+
+Fig. 3 contrasts the CDFs of all 500 ms throughput samples and all individual
+RTT samples between the parked city baselines and the drive.  Fig. 4 breaks
+driving performance down per serving technology, and for Verizon additionally
+per server kind (Wavelength edge vs EC2 cloud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.campaign.dataset import DriveDataset
+from repro.errors import AnalysisError
+from repro.net.servers import ServerKind
+from repro.radio.operators import Operator
+from repro.radio.technology import ALL_TECHNOLOGIES, RadioTechnology
+
+__all__ = [
+    "StaticVsDriving",
+    "static_vs_driving",
+    "per_technology_throughput",
+    "per_technology_rtt",
+    "edge_vs_cloud_throughput",
+    "edge_vs_cloud_rtt",
+]
+
+
+@dataclass(frozen=True)
+class StaticVsDriving:
+    """Fig. 3 CDFs for one operator."""
+
+    operator: Operator
+    static_dl: EmpiricalCDF
+    static_ul: EmpiricalCDF
+    static_rtt: EmpiricalCDF
+    driving_dl: EmpiricalCDF
+    driving_ul: EmpiricalCDF
+    driving_rtt: EmpiricalCDF
+
+
+def static_vs_driving(dataset: DriveDataset, operator: Operator) -> StaticVsDriving:
+    """Fig. 3 — static (best-5G city baselines) vs driving CDFs."""
+    return StaticVsDriving(
+        operator=operator,
+        static_dl=EmpiricalCDF.from_values(
+            dataset.tput_values(operator=operator, direction="downlink", static=True)
+        ),
+        static_ul=EmpiricalCDF.from_values(
+            dataset.tput_values(operator=operator, direction="uplink", static=True)
+        ),
+        static_rtt=EmpiricalCDF.from_values(
+            dataset.rtt_values(operator=operator, static=True)
+        ),
+        driving_dl=EmpiricalCDF.from_values(
+            dataset.tput_values(operator=operator, direction="downlink", static=False)
+        ),
+        driving_ul=EmpiricalCDF.from_values(
+            dataset.tput_values(operator=operator, direction="uplink", static=False)
+        ),
+        driving_rtt=EmpiricalCDF.from_values(
+            dataset.rtt_values(operator=operator, static=False)
+        ),
+    )
+
+
+def per_technology_throughput(
+    dataset: DriveDataset,
+    operator: Operator,
+    direction: str,
+    server_kind: ServerKind | None = None,
+) -> dict[RadioTechnology, EmpiricalCDF]:
+    """Fig. 4 — driving throughput CDFs per serving technology."""
+    out: dict[RadioTechnology, EmpiricalCDF] = {}
+    for tech in ALL_TECHNOLOGIES:
+        values = dataset.tput_values(
+            operator=operator, direction=direction, static=False,
+            techs=[tech], server_kind=server_kind,
+        )
+        if len(values) >= 5:
+            out[tech] = EmpiricalCDF.from_values(values)
+    if not out:
+        raise AnalysisError(f"no driving samples for {operator} {direction}")
+    return out
+
+
+def per_technology_rtt(
+    dataset: DriveDataset,
+    operator: Operator,
+    server_kind: ServerKind | None = None,
+) -> dict[RadioTechnology, EmpiricalCDF]:
+    """Fig. 4 (right) — driving RTT CDFs per serving technology."""
+    out: dict[RadioTechnology, EmpiricalCDF] = {}
+    for tech in ALL_TECHNOLOGIES:
+        values = dataset.rtt_values(
+            operator=operator, static=False, techs=[tech], server_kind=server_kind
+        )
+        if len(values) >= 5:
+            out[tech] = EmpiricalCDF.from_values(values)
+    if not out:
+        raise AnalysisError(f"no driving RTT samples for {operator}")
+    return out
+
+
+def edge_vs_cloud_throughput(
+    dataset: DriveDataset, direction: str
+) -> dict[ServerKind, dict[RadioTechnology, EmpiricalCDF]]:
+    """Fig. 4 (Verizon panels) — edge vs cloud per-technology throughput."""
+    out: dict[ServerKind, dict[RadioTechnology, EmpiricalCDF]] = {}
+    for kind in ServerKind:
+        try:
+            out[kind] = per_technology_throughput(
+                dataset, Operator.VERIZON, direction, server_kind=kind
+            )
+        except AnalysisError:
+            continue
+    return out
+
+
+def edge_vs_cloud_rtt(dataset: DriveDataset) -> dict[ServerKind, dict[RadioTechnology, EmpiricalCDF]]:
+    """Fig. 4 (Verizon panels) — edge vs cloud per-technology RTT."""
+    out: dict[ServerKind, dict[RadioTechnology, EmpiricalCDF]] = {}
+    for kind in ServerKind:
+        try:
+            out[kind] = per_technology_rtt(dataset, Operator.VERIZON, server_kind=kind)
+        except AnalysisError:
+            continue
+    return out

@@ -1,0 +1,176 @@
+"""Quantifying the paper's three recommendations (§8).
+
+The paper closes with three recommendations; each is directly measurable on
+a campaign dataset:
+
+1. **App-level optimisations** ("developers should continue to explore
+   compression, local tracking, buffering, rate adaptation") — measured as
+   the E2E-latency reduction frame compression buys the AR and CAV apps.
+2. **Multipath over multiple operators** ("smartphone vendors should explore
+   multipath solutions") — measured as the best-of-3 / aggregate gains and
+   the collapse of the sub-5 Mbps outage share.
+3. **Edge deployment** ("operators and cloud providers should collaborate in
+   deploying more edge services") — measured as Verizon's edge-vs-cloud RTT
+   and app-QoE deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign.dataset import DriveDataset
+from repro.campaign.tests import TestType
+from repro.errors import AnalysisError
+from repro.net.multipath import MultipathScheduler, simulate_multipath
+from repro.net.servers import ServerKind
+from repro.radio.operators import Operator
+
+__all__ = [
+    "CompressionGain",
+    "MultipathGain",
+    "EdgeGain",
+    "RecommendationsReport",
+    "quantify_recommendations",
+]
+
+
+@dataclass(frozen=True)
+class CompressionGain:
+    """Recommendation 1: what frame compression buys an offloading app."""
+
+    app: TestType
+    median_e2e_raw_ms: float
+    median_e2e_compressed_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.median_e2e_raw_ms / self.median_e2e_compressed_ms
+
+
+@dataclass(frozen=True)
+class MultipathGain:
+    """Recommendation 2: multi-operator aggregation, per direction."""
+
+    direction: str
+    aggregate_median_mbps: float
+    best_single_median_mbps: float
+    #: Sub-5 Mbps share: best single operator vs the aggregate.
+    single_outage_fraction: float
+    aggregate_outage_fraction: float
+
+    @property
+    def median_gain(self) -> float:
+        return self.aggregate_median_mbps / self.best_single_median_mbps
+
+
+@dataclass(frozen=True)
+class EdgeGain:
+    """Recommendation 3: in-network edge serving (Verizon/Wavelength)."""
+
+    rtt_median_edge_ms: float
+    rtt_median_cloud_ms: float
+    video_qoe_edge: float | None
+    video_qoe_cloud: float | None
+
+    @property
+    def rtt_reduction(self) -> float:
+        return 1.0 - self.rtt_median_edge_ms / self.rtt_median_cloud_ms
+
+
+@dataclass(frozen=True)
+class RecommendationsReport:
+    """All three recommendations quantified on one dataset."""
+
+    compression: list[CompressionGain]
+    multipath: list[MultipathGain]
+    edge: EdgeGain
+
+
+def _compression_gains(dataset: DriveDataset) -> list[CompressionGain]:
+    gains = []
+    for app in (TestType.AR, TestType.CAV):
+        raw = [
+            r.mean_e2e_ms
+            for r in dataset.offload_runs
+            if r.app is app and not r.compression and not r.static
+            and np.isfinite(r.mean_e2e_ms)
+        ]
+        compressed = [
+            r.mean_e2e_ms
+            for r in dataset.offload_runs
+            if r.app is app and r.compression and not r.static
+            and np.isfinite(r.mean_e2e_ms)
+        ]
+        if not raw or not compressed:
+            continue
+        gains.append(
+            CompressionGain(
+                app=app,
+                median_e2e_raw_ms=float(np.median(raw)),
+                median_e2e_compressed_ms=float(np.median(compressed)),
+            )
+        )
+    if not gains:
+        raise AnalysisError("no offload runs to quantify compression")
+    return gains
+
+
+def _multipath_gains(dataset: DriveDataset) -> list[MultipathGain]:
+    gains = []
+    for direction in ("downlink", "uplink"):
+        agg = simulate_multipath(dataset, direction, MultipathScheduler.AGGREGATE)
+        singles = {
+            op: float(np.median(agg.single_path[op])) for op in Operator
+        }
+        best_op = max(singles, key=lambda op: singles[op])
+        single_outage = min(
+            float((agg.single_path[op] < 5.0).mean()) for op in Operator
+        )
+        gains.append(
+            MultipathGain(
+                direction=direction,
+                aggregate_median_mbps=agg.median_mbps,
+                best_single_median_mbps=singles[best_op],
+                single_outage_fraction=single_outage,
+                aggregate_outage_fraction=agg.outage_fraction(5.0),
+            )
+        )
+    return gains
+
+
+def _edge_gain(dataset: DriveDataset) -> EdgeGain:
+    rtt_edge = dataset.rtt_values(
+        operator=Operator.VERIZON, static=False, server_kind=ServerKind.EDGE
+    )
+    rtt_cloud = dataset.rtt_values(
+        operator=Operator.VERIZON, static=False, server_kind=ServerKind.CLOUD
+    )
+    if len(rtt_edge) < 10 or len(rtt_cloud) < 10:
+        raise AnalysisError("not enough edge/cloud RTT samples")
+    video_edge = [
+        r.qoe for r in dataset.video_runs
+        if r.operator is Operator.VERIZON and not r.static
+        and r.server_kind is ServerKind.EDGE
+    ]
+    video_cloud = [
+        r.qoe for r in dataset.video_runs
+        if r.operator is Operator.VERIZON and not r.static
+        and r.server_kind is ServerKind.CLOUD
+    ]
+    return EdgeGain(
+        rtt_median_edge_ms=float(np.median(rtt_edge)),
+        rtt_median_cloud_ms=float(np.median(rtt_cloud)),
+        video_qoe_edge=float(np.median(video_edge)) if video_edge else None,
+        video_qoe_cloud=float(np.median(video_cloud)) if video_cloud else None,
+    )
+
+
+def quantify_recommendations(dataset: DriveDataset) -> RecommendationsReport:
+    """Quantify all three §8 recommendations on one dataset."""
+    return RecommendationsReport(
+        compression=_compression_gains(dataset),
+        multipath=_multipath_gains(dataset),
+        edge=_edge_gain(dataset),
+    )

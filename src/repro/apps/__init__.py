@@ -1,0 +1,32 @@
+"""The four "5G killer" applications evaluated by the paper (§7).
+
+Two uplink-centric apps — edge-assisted AR and CAV perception offloading —
+and two downlink-centric apps — 360° video streaming (Puffer + BBA) and
+cloud gaming (Steam-Remote-Play-style adaptive streaming).  All four consume
+a :class:`repro.apps.schedule.LinkSchedule`, the time-varying link a campaign
+test window produced, and emit run-level QoE metrics.
+"""
+
+from repro.apps.schedule import LinkSchedule
+from repro.apps.accuracy import map_for_latency, LOCAL_TRACKING_TABLE
+from repro.apps.offload import OffloadAppConfig, OffloadMetrics, AR_CONFIG, CAV_CONFIG, run_offload_app
+from repro.apps.video import VideoConfig, VideoMetrics, run_video_session, bba_select_bitrate
+from repro.apps.gaming import GamingConfig, GamingMetrics, run_gaming_session
+
+__all__ = [
+    "LinkSchedule",
+    "map_for_latency",
+    "LOCAL_TRACKING_TABLE",
+    "OffloadAppConfig",
+    "OffloadMetrics",
+    "AR_CONFIG",
+    "CAV_CONFIG",
+    "run_offload_app",
+    "VideoConfig",
+    "VideoMetrics",
+    "run_video_session",
+    "bba_select_bitrate",
+    "GamingConfig",
+    "GamingMetrics",
+    "run_gaming_session",
+]

@@ -1,0 +1,86 @@
+"""Object-detection accuracy model for the AR app (paper Appendix C.2).
+
+The paper reduces accuracy to a lookup: using the Argoverse dataset and
+Faster R-CNN on the edge server, with an on-device local-tracking algorithm
+reusing the latest server result, the achieved mAP depends only on the E2E
+offloading latency *binned in frame times* (Table 5).  Compression is lossy,
+so each bin carries separate values with and without compression.
+
+We reproduce Table 5 verbatim and extrapolate beyond its last bin (29-30
+frame times) with the table's tail slope, floored at a drifted-tracking
+baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LOCAL_TRACKING_TABLE", "map_for_latency", "MAP_FLOOR"]
+
+#: Table 5: (mAP without compression, mAP with compression) for E2E latency
+#: bin [i, i+1) in frame times.
+LOCAL_TRACKING_TABLE: tuple[tuple[float, float], ...] = (
+    (38.45, 38.45),
+    (37.22, 36.14),
+    (36.04, 34.75),
+    (34.65, 33.12),
+    (33.36, 31.82),
+    (32.20, 30.50),
+    (31.08, 29.53),
+    (28.03, 26.99),
+    (27.01, 25.73),
+    (25.62, 25.21),
+    (25.77, 24.35),
+    (23.29, 22.44),
+    (22.75, 21.56),
+    (22.48, 21.64),
+    (21.59, 21.16),
+    (20.59, 20.35),
+    (20.11, 19.69),
+    (19.53, 18.95),
+    (18.40, 17.61),
+    (18.01, 17.85),
+    (17.52, 17.00),
+    (16.96, 16.55),
+    (16.59, 15.97),
+    (15.41, 15.16),
+    (15.78, 14.94),
+    (15.86, 15.37),
+    (14.81, 14.71),
+    (14.70, 13.77),
+    (14.44, 13.62),
+    (14.05, 13.70),
+)
+
+#: Accuracy floor when tracking has fully drifted (stale results useless).
+MAP_FLOOR = 5.0
+
+#: Average per-bin decay used to extrapolate past the table's last bin.
+_TAIL_SLOPE_PER_BIN = 0.35
+
+
+def map_for_latency(e2e_latency_frames: float, compression: bool) -> float:
+    """mAP (%) achieved at a given E2E offloading latency.
+
+    Parameters
+    ----------
+    e2e_latency_frames:
+        Mean E2E offloading latency expressed in frame times (e.g. for the
+        30 FPS AR app, latency_ms / 33.3).
+    compression:
+        Whether lossy frame compression was used.
+
+    >>> map_for_latency(0.5, compression=False)
+    38.45
+    >>> map_for_latency(6.4, compression=True)
+    29.53
+    """
+    if e2e_latency_frames < 0.0 or math.isnan(e2e_latency_frames):
+        raise ValueError(f"latency must be non-negative, got {e2e_latency_frames}")
+    column = 1 if compression else 0
+    bin_index = int(e2e_latency_frames)
+    if bin_index < len(LOCAL_TRACKING_TABLE):
+        return LOCAL_TRACKING_TABLE[bin_index][column]
+    last = LOCAL_TRACKING_TABLE[-1][column]
+    overshoot = bin_index - (len(LOCAL_TRACKING_TABLE) - 1)
+    return max(last - overshoot * _TAIL_SLOPE_PER_BIN, MAP_FLOOR)

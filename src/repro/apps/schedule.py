@@ -1,0 +1,137 @@
+"""Time-varying link schedule consumed by the application models.
+
+A :class:`LinkSchedule` is the piecewise-constant view of the link during one
+test window: per-tick uplink/downlink capacity, RTT, serving technology and
+handover interruption intervals.  Applications integrate transfers over it —
+e.g. "how long does a 50 KB frame take to upload starting at t = 3.2 s" —
+without knowing anything about the radio stack that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radio.technology import RadioTechnology
+
+__all__ = ["LinkSchedule"]
+
+
+@dataclass(frozen=True)
+class LinkSchedule:
+    """Piecewise-constant link over one test window.
+
+    All arrays share one length N; tick ``i`` covers
+    ``[times_s[i], times_s[i] + tick_s)``.
+
+    ``interruptions`` lists (start_s, duration_s) intervals during which the
+    link carries no data (handover execution).
+    """
+
+    times_s: np.ndarray
+    tick_s: float
+    ul_mbps: np.ndarray
+    dl_mbps: np.ndarray
+    rtt_ms: np.ndarray
+    techs: tuple[RadioTechnology, ...]
+    interruptions: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        n = len(self.times_s)
+        if not (len(self.ul_mbps) == len(self.dl_mbps) == len(self.rtt_ms) == len(self.techs) == n):
+            raise ValueError("schedule arrays must share one length")
+        if n == 0:
+            raise ValueError("schedule must contain at least one tick")
+        if self.tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        # Cache the start time as a plain float: _index_at is the hottest
+        # call in the app models and ndarray scalar access is slow.
+        object.__setattr__(self, "_t0", float(self.times_s[0]))
+
+    # -- point queries -----------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Total covered duration."""
+        return float(len(self.times_s) * self.tick_s)
+
+    def _index_at(self, t_s: float) -> int:
+        rel = t_s - self._t0
+        idx = int(rel // self.tick_s)
+        n = len(self.times_s)
+        if idx < 0:
+            return 0
+        if idx >= n:
+            return n - 1
+        return idx
+
+    def ul_rate_at(self, t_s: float) -> float:
+        """Uplink capacity (Mbps) at absolute schedule time ``t_s``."""
+        return float(self.ul_mbps[self._index_at(t_s)]) * self._up_factor(t_s)
+
+    def dl_rate_at(self, t_s: float) -> float:
+        """Downlink capacity (Mbps) at absolute schedule time ``t_s``."""
+        return float(self.dl_mbps[self._index_at(t_s)]) * self._up_factor(t_s)
+
+    def rtt_at(self, t_s: float) -> float:
+        """RTT (ms) at absolute schedule time ``t_s``."""
+        return float(self.rtt_ms[self._index_at(t_s)])
+
+    def tech_at(self, t_s: float) -> RadioTechnology:
+        """Serving technology at absolute schedule time ``t_s``."""
+        return self.techs[self._index_at(t_s)]
+
+    def _up_factor(self, t_s: float) -> float:
+        for start, dur in self.interruptions:
+            if start <= t_s < start + dur:
+                return 0.0
+        return 1.0
+
+    # -- transfer integration ----------------------------------------------
+
+    def transfer_time_s(self, start_s: float, megabits: float, direction: str) -> float:
+        """Time to move ``megabits`` starting at ``start_s``, honouring the
+        piecewise rate and link interruptions.
+
+        Returns ``inf`` if the transfer does not complete within the
+        schedule (the run ends mid-transfer).
+        """
+        if megabits < 0:
+            raise ValueError("transfer size must be non-negative")
+        if megabits == 0:
+            return 0.0
+        remaining = megabits
+        t = max(start_s, float(self.times_s[0]))
+        end = float(self.times_s[0]) + self.duration_s
+        while t < end:
+            rate = self.ul_rate_at(t) if direction == "uplink" else self.dl_rate_at(t)
+            # Advance to the next boundary: tick edge or interruption edge.
+            tick_end = float(self.times_s[0]) + (self._index_at(t) + 1) * self.tick_s
+            seg_end = tick_end
+            for istart, idur in self.interruptions:
+                if t < istart < seg_end:
+                    seg_end = istart
+                elif istart <= t < istart + idur:
+                    seg_end = min(seg_end, istart + idur)
+            seg = max(seg_end - t, 1e-6)
+            if rate > 0.0:
+                needed = remaining / rate
+                if needed <= seg:
+                    return (t + needed) - start_s
+                remaining -= rate * seg
+            t += seg
+        return float("inf")
+
+    # -- aggregates ----------------------------------------------------------
+
+    def fraction_on(self, techs: frozenset[RadioTechnology]) -> float:
+        """Fraction of ticks served by any technology in ``techs``."""
+        if not self.techs:
+            return 0.0
+        hits = sum(1 for t in self.techs if t in techs)
+        return hits / len(self.techs)
+
+    def handover_count(self) -> int:
+        """Number of interruption intervals (handovers) in the window."""
+        return len(self.interruptions)

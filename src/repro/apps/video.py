@@ -1,0 +1,174 @@
+"""360° video streaming with the BBA buffer-based ABR (paper §7.2, App. D).
+
+The paper streamed 2-second chunks encoded at four quality levels (100, 50,
+10, 5 Mbps) from a Puffer server, with the ABR replaced by BBA (Huang et
+al.), which maps buffer occupancy linearly onto the bitrate ladder between a
+reservoir and a cushion.  QoE follows Yin et al.:
+
+    QoE_k = B_k − λ·|B_k − B_{k−1}| − μ·T_k        (λ = 1, μ = 100)
+
+where B_k is chunk k's bitrate (Mbps) and T_k the rebuffering time (s)
+incurred while downloading it.  A session's QoE is the mean over its chunks.
+The theoretical best is 100 (all top-bitrate chunks, no stalls, no switches).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.schedule import LinkSchedule
+
+__all__ = ["VideoConfig", "VideoMetrics", "bba_select_bitrate", "run_video_session"]
+
+
+@dataclass(frozen=True, slots=True)
+class VideoConfig:
+    """Streaming session parameters (paper Appendix D.1)."""
+
+    bitrates_mbps: tuple[float, ...] = (5.0, 10.0, 50.0, 100.0)
+    chunk_duration_s: float = 2.0
+    session_duration_s: float = 180.0
+    #: BBA reservoir: below this buffer level, stream the minimum bitrate.
+    reservoir_s: float = 4.0
+    #: BBA cushion: above reservoir+cushion, stream the maximum bitrate.
+    cushion_s: float = 9.0
+    #: Client buffer capacity; downloads pause when full.
+    max_buffer_s: float = 15.0
+    #: Goodput of the chunk transport relative to link capacity (single
+    #: HTTP/TCP connection with per-chunk ramp-up).
+    tcp_efficiency: float = 0.72
+    qoe_lambda: float = 1.0
+    qoe_mu: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.bitrates_mbps or list(self.bitrates_mbps) != sorted(self.bitrates_mbps):
+            raise ValueError("bitrates must be a non-empty ascending ladder")
+        if self.reservoir_s < 0 or self.cushion_s <= 0:
+            raise ValueError("reservoir/cushion must be sensible")
+
+
+@dataclass(frozen=True, slots=True)
+class VideoMetrics:
+    """Result of one streaming session."""
+
+    qoe: float
+    avg_bitrate_mbps: float
+    rebuffer_ratio: float
+    rebuffer_s: float
+    chunks_played: int
+    bitrate_switches: int
+    downlink_megabits: float
+
+
+def bba_select_bitrate(buffer_s: float, config: VideoConfig) -> float:
+    """BBA's rate map: buffer occupancy → bitrate (Mbps).
+
+    Linear between the minimum bitrate at the reservoir and the maximum at
+    reservoir+cushion; clamped outside.
+
+    >>> cfg = VideoConfig()
+    >>> bba_select_bitrate(0.0, cfg)
+    5.0
+    >>> bba_select_bitrate(30.0, cfg)
+    100.0
+    """
+    ladder = config.bitrates_mbps
+    if buffer_s <= config.reservoir_s:
+        return ladder[0]
+    if buffer_s >= config.reservoir_s + config.cushion_s:
+        return ladder[-1]
+    frac = (buffer_s - config.reservoir_s) / config.cushion_s
+    target = ladder[0] + frac * (ladder[-1] - ladder[0])
+    # Highest ladder rung not exceeding the linear target.
+    chosen = ladder[0]
+    for rate in ladder:
+        if rate <= target:
+            chosen = rate
+    return chosen
+
+
+def run_video_session(schedule: LinkSchedule, config: VideoConfig | None = None) -> VideoMetrics:
+    """Simulate one playback session over ``schedule``.
+
+    The session runs for ``config.session_duration_s`` of wall-clock time
+    (not content time): rebuffering eats into it, as in the paper's 3-minute
+    sessions with up to 87% rebuffer ratios.
+    """
+    cfg = config or VideoConfig()
+    t0 = float(schedule.times_s[0])
+    wall_end = t0 + min(cfg.session_duration_s, schedule.duration_s)
+
+    t = t0
+    buffer_s = 0.0
+    rebuffer_s = 0.0
+    started = False
+    prev_bitrate: float | None = None
+    qoe_terms: list[float] = []
+    bitrates: list[float] = []
+    switches = 0
+    downlink_megabits = 0.0
+
+    while t < wall_end:
+        if buffer_s >= cfg.max_buffer_s:
+            # Buffer full: play out until there is room for one more chunk.
+            drain = buffer_s - (cfg.max_buffer_s - cfg.chunk_duration_s)
+            t += drain
+            buffer_s -= drain
+            continue
+
+        bitrate = bba_select_bitrate(buffer_s, cfg)
+        chunk_mb = bitrate * cfg.chunk_duration_s
+        request_s = schedule.rtt_at(t) / 1000.0
+        dl_time = schedule.transfer_time_s(
+            t + request_s, chunk_mb / cfg.tcp_efficiency, "downlink"
+        )
+        dl_time = dl_time + request_s if math.isfinite(dl_time) else dl_time
+        if math.isinf(dl_time):
+            # Link dead until the end of the run: count the tail as a stall.
+            rebuffer_s += max(wall_end - t - buffer_s, 0.0)
+            break
+        arrival = t + dl_time
+
+        # Playback drains the buffer during the download; whatever the
+        # download time exceeds the buffer by is a stall.  Startup delay
+        # before the first chunk is not counted as rebuffering.
+        stall = max(dl_time - buffer_s, 0.0) if started else 0.0
+        if started:
+            buffer_s = max(buffer_s - dl_time, 0.0)
+            rebuffer_s += stall
+        buffer_s += cfg.chunk_duration_s
+        started = True
+
+        if prev_bitrate is not None and bitrate != prev_bitrate:
+            switches += 1
+        smoothness = abs(bitrate - prev_bitrate) if prev_bitrate is not None else 0.0
+        qoe_terms.append(bitrate - cfg.qoe_lambda * smoothness - cfg.qoe_mu * stall)
+        bitrates.append(bitrate)
+        downlink_megabits += chunk_mb
+        prev_bitrate = bitrate
+        t = arrival
+
+    if not qoe_terms:
+        return VideoMetrics(
+            qoe=-cfg.qoe_mu * cfg.session_duration_s,
+            avg_bitrate_mbps=0.0,
+            rebuffer_ratio=1.0,
+            rebuffer_s=cfg.session_duration_s,
+            chunks_played=0,
+            bitrate_switches=0,
+            downlink_megabits=0.0,
+        )
+
+    session = wall_end - t0
+    return VideoMetrics(
+        qoe=float(np.mean(qoe_terms)),
+        avg_bitrate_mbps=float(np.mean(bitrates)),
+        rebuffer_ratio=min(max(rebuffer_s / session, 0.0), 1.0),
+        rebuffer_s=rebuffer_s,
+        chunks_played=len(qoe_terms),
+        bitrate_switches=switches,
+        downlink_megabits=downlink_megabits,
+    )

@@ -1,0 +1,750 @@
+"""The drive campaign: LA→Boston with a round-robin measurement cycle.
+
+Mirrors the paper's methodology (§3): three phones (one per carrier, all in
+the same vehicle) run the test suite round-robin — downlink/uplink TCP bulk
+transfers, ICMP RTT tests, AR and CAV offloading runs (with and without
+compression), a 360° video session and a cloud-gaming session — while an
+XCAL-style probe logs 500 ms KPI samples, and three further passive
+"handover-logger" phones record the technology they camp on across the whole
+trip.  Static baselines are measured in each major city facing the best
+high-speed-5G base station available (§5.1).
+
+``CampaignConfig.scale`` subsamples the *active testing duty cycle* (the
+fraction of the route covered by tests) while still traversing the full
+route, so small-scale datasets remain geographically representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.gaming import run_gaming_session
+from repro.apps.offload import AR_CONFIG, CAV_CONFIG, OffloadAppConfig, run_offload_app
+from repro.apps.schedule import LinkSchedule
+from repro.apps.video import VideoConfig, run_video_session
+from repro.campaign.dataset import (
+    DriveDataset,
+    GamingRunResult,
+    HandoverRecord,
+    OffloadRunResult,
+    RttSample,
+    TestRecord,
+    ThroughputSample,
+    VideoRunResult,
+)
+from repro.campaign.link import LinkTick, StaticSite, UESession
+from repro.campaign.scheduler import CyclePlan, FULL_CYCLE
+from repro.campaign.tests import TEST_DIRECTION, TEST_DURATIONS_S, TEST_TRAFFIC, TestType
+from repro.errors import CampaignError
+from repro.geo.route import Route, RoutePosition, build_cross_country_route
+from repro.geo.speed import SpeedProfile
+from repro.net.servers import Server, ServerRegistry
+from repro.net.tcp import CubicFlow
+from repro.policy.profiles import PolicyProfile, TrafficProfile
+from repro.radio.ca import Direction
+from repro.radio.deployment import DeploymentModel
+from repro.radio.operators import Operator
+from repro.rng import RngFactory
+from repro.radio.technology import HIGH_THROUGHPUT_TECHS
+
+__all__ = ["CampaignConfig", "DriveCampaign", "generate_dataset"]
+
+#: Factor applied to the sampled (unloaded) RTT to approximate the RTT a
+#: saturating TCP flow experiences (self-induced queueing).
+_TCP_RTT_INFLATION = 1.3
+_TCP_RTT_FLOOR_MS = 15.0
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignConfig:
+    """Knobs of a campaign run."""
+
+    seed: int = 42
+    #: Fraction of the route covered by active testing (1.0 = tests run
+    #: back-to-back for the entire drive).
+    scale: float = 1.0
+    tick_s: float = 0.5
+    include_apps: bool = True
+    include_static: bool = True
+    video_duration_s: float = 180.0
+    gaming_duration_s: float = 60.0
+    inter_test_gap_s: float = 4.0
+    #: The round-robin test cycle; defaults to the paper's full suite.
+    cycle: CyclePlan = FULL_CYCLE
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise CampaignError(f"scale must be in (0, 1], got {self.scale}")
+        if self.tick_s <= 0.0:
+            raise CampaignError("tick_s must be positive")
+
+
+class DriveCampaign:
+    """One full campaign execution.
+
+    Examples
+    --------
+    >>> campaign = DriveCampaign(CampaignConfig(seed=7, scale=0.01,
+    ...                                         include_apps=False))
+    >>> dataset = campaign.run()
+    >>> len(dataset.tests) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig | None = None,
+        route: Route | None = None,
+        policy_profiles: "dict[Operator, PolicyProfile] | None" = None,
+    ) -> None:
+        """Set up the campaign.
+
+        Parameters
+        ----------
+        policy_profiles:
+            Optional per-operator policy overrides (ablations: e.g. a
+            no-uplink-demotion world).  Operators not in the mapping keep
+            their default profile.
+        """
+        self.config = config or CampaignConfig()
+        self.route = route or build_cross_country_route()
+        self._rngs = RngFactory(seed=self.config.seed)
+        self._servers = ServerRegistry(self.route)
+        self._speed = SpeedProfile(self._rngs.stream("speed"))
+        self._sessions: dict[Operator, UESession] = {}
+        overrides = policy_profiles or {}
+        for op in Operator:
+            deployment = DeploymentModel.build(
+                op, self.route, self._rngs.stream(f"deploy-{op.code}")
+            )
+            self._sessions[op] = UESession(
+                op, deployment, self._rngs, policy_profile=overrides.get(op)
+            )
+        self._mark_m = 0.0
+        self._time_s = 0.0
+        self._test_seq = 0
+        self._dataset = DriveDataset(
+            seed=self.config.seed,
+            scale=self.config.scale,
+            route_length_km=self.route.total_length_km,
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> DriveDataset:
+        """Execute the campaign and return the dataset."""
+        self._record_passive_coverage()
+        remaining_cities = [
+            (self.route.city_mark_m(c.name), c.name) for c in self.route.cities
+        ]
+        remaining_cities.sort()
+
+        end_m = self.route.total_length_m - 2_000.0
+        while self._mark_m < end_m:
+            # Static battery when we reach a city.
+            while remaining_cities and remaining_cities[0][0] <= self._mark_m:
+                _, city_name = remaining_cities.pop(0)
+                if self.config.include_static:
+                    self._run_static_battery(city_name)
+            cycle_start_m = self._mark_m
+            self._run_cycle()
+            cycle_dist = self._mark_m - cycle_start_m
+            self._fast_forward(cycle_dist, end_m)
+
+        # Cities not reached before the loop ended (Boston sits at the end).
+        for _, city_name in remaining_cities:
+            if self.config.include_static:
+                self._run_static_battery(city_name)
+        return self._dataset
+
+    # -- cycle & movement ----------------------------------------------------
+
+    def _run_cycle(self) -> None:
+        """One round-robin pass over the configured cycle plan (§3)."""
+        plan = self.config.cycle
+        if not self.config.include_apps:
+            plan = plan.without_apps()
+        for test_type in plan.tests:
+            if test_type in (
+                TestType.DOWNLINK_THROUGHPUT, TestType.UPLINK_THROUGHPUT
+            ):
+                self._run_throughput_test(test_type)
+                self._gap()
+            elif test_type is TestType.RTT:
+                self._run_rtt_test()
+                self._gap()
+            elif test_type is TestType.AR:
+                for compression in (False, True):
+                    self._run_offload_test(TestType.AR, AR_CONFIG, compression)
+                    self._gap()
+            elif test_type is TestType.CAV:
+                for compression in (False, True):
+                    self._run_offload_test(TestType.CAV, CAV_CONFIG, compression)
+                    self._gap()
+            elif test_type is TestType.VIDEO_360:
+                self._run_video_test()
+                self._gap()
+            elif test_type is TestType.CLOUD_GAMING:
+                self._run_gaming_test()
+                self._gap()
+
+    def _gap(self) -> None:
+        """Short idle gap between tests (reconfiguration, logging flush)."""
+        steps = max(int(self.config.inter_test_gap_s / self.config.tick_s), 1)
+        for _ in range(steps):
+            self._advance(self.config.tick_s)
+
+    def _advance(self, dt_s: float) -> RoutePosition:
+        """Move the vehicle for ``dt_s`` seconds; return the new position."""
+        position = self.route.position_at(min(self._mark_m, self.route.total_length_m))
+        speed_mph = self._speed.step(position.region, dt_s)
+        self._mark_m = min(
+            self._mark_m + self._speed.current_speed_mps * dt_s,
+            self.route.total_length_m,
+        )
+        self._time_s += dt_s
+        return self.route.position_at(self._mark_m)
+
+    def _fast_forward(self, cycle_dist_m: float, end_m: float) -> None:
+        """Skip the idle stretch implied by the campaign's duty cycle."""
+        if self.config.scale >= 1.0:
+            return
+        skip = cycle_dist_m * (1.0 / self.config.scale - 1.0)
+        skip = min(skip, max(end_m + 1_000.0 - self._mark_m, 0.0))
+        if skip <= 0.0:
+            return
+        self._mark_m += skip
+        self._time_s += skip / 27.0  # ≈ 60 mph average cruise
+        for session in self._sessions.values():
+            session.handover_engine.reset_serving()
+
+    def _next_test_id(self) -> int:
+        self._test_seq += 1
+        return self._test_seq
+
+    def _servers_now(self, position: RoutePosition) -> dict[Operator, Server]:
+        return {
+            op: self._servers.select(op, position.point, position.timezone)
+            for op in Operator
+        }
+
+    # -- driving tests ---------------------------------------------------------
+
+    def _run_throughput_test(self, test_type: TestType) -> None:
+        direction = TEST_DIRECTION[test_type]
+        traffic = TEST_TRAFFIC[test_type]
+        duration = TEST_DURATIONS_S[test_type]
+        ticks = int(duration / self.config.tick_s)
+        start_pos = self.route.position_at(self._mark_m)
+        servers = self._servers_now(start_pos)
+        test_ids = {op: self._next_test_id() for op in Operator}
+        flows = {
+            op: CubicFlow(self._rngs.stream(f"tcp-{op.code}"))
+            for op in Operator
+        }
+        start_time = self._time_s
+        start_mark = self._mark_m
+
+        for _ in range(ticks):
+            position = self._advance(self.config.tick_s)
+            speed = self._speed.current_speed_mph
+            for op in Operator:
+                tick = self._sessions[op].tick(
+                    self._time_s, position, speed, traffic, direction,
+                    servers[op], self.config.tick_s,
+                )
+                tcp_rtt = max(tick.rtt_ms * _TCP_RTT_INFLATION, _TCP_RTT_FLOOR_MS)
+                tput = flows[op].advance(
+                    capacity_mbps=tick.capacity_mbps(direction),
+                    rtt_ms=tcp_rtt,
+                    dt_s=self.config.tick_s,
+                    bler=tick.bler,
+                    interruption_s=tick.interruption_s,
+                )
+                self._record_tput_tick(test_ids[op], op, direction, tick, tput, static=False)
+
+        for op in Operator:
+            self._dataset.tests.append(
+                TestRecord(
+                    test_id=test_ids[op],
+                    test_type=test_type,
+                    operator=op,
+                    start_time_s=start_time,
+                    end_time_s=self._time_s,
+                    start_mark_m=start_mark,
+                    end_mark_m=self._mark_m,
+                    server_kind=servers[op].kind,
+                    static=False,
+                )
+            )
+
+    def _run_rtt_test(self) -> None:
+        duration = TEST_DURATIONS_S[TestType.RTT]
+        interval = 0.2
+        pings = int(duration / interval)
+        start_pos = self.route.position_at(self._mark_m)
+        servers = self._servers_now(start_pos)
+        test_ids = {op: self._next_test_id() for op in Operator}
+        start_time, start_mark = self._time_s, self._mark_m
+
+        for _ in range(pings):
+            position = self._advance(interval)
+            speed = self._speed.current_speed_mph
+            for op in Operator:
+                tick = self._sessions[op].tick(
+                    self._time_s, position, speed, TrafficProfile.IDLE_PING,
+                    Direction.DOWNLINK, servers[op], interval,
+                )
+                self._dataset.rtt_samples.append(
+                    RttSample(
+                        test_id=test_ids[op],
+                        operator=op,
+                        time_s=self._time_s,
+                        mark_m=position.distance_m,
+                        speed_mph=speed,
+                        region=position.region,
+                        timezone=position.timezone,
+                        tech=tick.tech,
+                        rtt_ms=tick.rtt_ms,
+                        server_kind=servers[op].kind,
+                        static=False,
+                    )
+                )
+
+        for op in Operator:
+            self._dataset.tests.append(
+                TestRecord(
+                    test_id=test_ids[op],
+                    test_type=TestType.RTT,
+                    operator=op,
+                    start_time_s=start_time,
+                    end_time_s=self._time_s,
+                    start_mark_m=start_mark,
+                    end_mark_m=self._mark_m,
+                    server_kind=servers[op].kind,
+                    static=False,
+                )
+            )
+
+    # -- application tests -------------------------------------------------------
+
+    def _collect_schedule(
+        self,
+        duration_s: float,
+        traffic: TrafficProfile,
+        direction: str,
+        servers: dict[Operator, Server],
+        test_ids: dict[Operator, int],
+    ) -> dict[Operator, LinkSchedule]:
+        """Drive for ``duration_s``, recording a LinkSchedule per operator."""
+        ticks = int(duration_s / self.config.tick_s)
+        per_op: dict[Operator, dict[str, list]] = {
+            op: {"t": [], "ul": [], "dl": [], "rtt": [], "tech": [], "intr": []}
+            for op in Operator
+        }
+        for _ in range(ticks):
+            position = self._advance(self.config.tick_s)
+            speed = self._speed.current_speed_mph
+            for op in Operator:
+                tick = self._sessions[op].tick(
+                    self._time_s, position, speed, traffic, direction,
+                    servers[op], self.config.tick_s,
+                )
+                acc = per_op[op]
+                acc["t"].append(self._time_s)
+                acc["ul"].append(tick.capacity_ul_mbps)
+                acc["dl"].append(tick.capacity_dl_mbps)
+                acc["rtt"].append(tick.rtt_ms)
+                acc["tech"].append(tick.tech)
+                for ev in tick.handovers:
+                    acc["intr"].append((self._time_s, ev.duration_ms / 1000.0))
+                    self._dataset.handovers.append(
+                        HandoverRecord(test_id=test_ids[op], direction=direction, event=ev)
+                    )
+        return {
+            op: LinkSchedule(
+                times_s=np.asarray(acc["t"]),
+                tick_s=self.config.tick_s,
+                ul_mbps=np.asarray(acc["ul"]),
+                dl_mbps=np.asarray(acc["dl"]),
+                rtt_ms=np.asarray(acc["rtt"]),
+                techs=tuple(acc["tech"]),
+                interruptions=tuple(acc["intr"]),
+            )
+            for op, acc in per_op.items()
+        }
+
+    def _run_offload_test(
+        self, test_type: TestType, app_config: OffloadAppConfig, compression: bool
+    ) -> None:
+        start_pos = self.route.position_at(self._mark_m)
+        servers = self._servers_now(start_pos)
+        test_ids = {op: self._next_test_id() for op in Operator}
+        start_time, start_mark = self._time_s, self._mark_m
+        schedules = self._collect_schedule(
+            app_config.duration_s, TEST_TRAFFIC[test_type], TEST_DIRECTION[test_type],
+            servers, test_ids,
+        )
+        for op, schedule in schedules.items():
+            metrics = run_offload_app(schedule, app_config, compression)
+            self._dataset.offload_runs.append(
+                OffloadRunResult(
+                    app=test_type,
+                    test_id=test_ids[op],
+                    operator=op,
+                    server_kind=servers[op].kind,
+                    compression=compression,
+                    mean_e2e_ms=metrics.mean_e2e_ms,
+                    median_e2e_ms=metrics.median_e2e_ms,
+                    offload_fps=metrics.offload_fps,
+                    map_score=metrics.map_score,
+                    ho_count=schedule.handover_count(),
+                    frac_hs5g=schedule.fraction_on(HIGH_THROUGHPUT_TECHS),
+                    static=False,
+                    uplink_megabits=metrics.uplink_megabits,
+                )
+            )
+            self._dataset.tests.append(
+                TestRecord(
+                    test_id=test_ids[op],
+                    test_type=test_type,
+                    operator=op,
+                    start_time_s=start_time,
+                    end_time_s=self._time_s,
+                    start_mark_m=start_mark,
+                    end_mark_m=self._mark_m,
+                    server_kind=servers[op].kind,
+                    static=False,
+                )
+            )
+
+    def _run_video_test(self) -> None:
+        start_pos = self.route.position_at(self._mark_m)
+        servers = self._servers_now(start_pos)
+        test_ids = {op: self._next_test_id() for op in Operator}
+        start_time, start_mark = self._time_s, self._mark_m
+        schedules = self._collect_schedule(
+            self.config.video_duration_s, TrafficProfile.BACKLOGGED_DL,
+            Direction.DOWNLINK, servers, test_ids,
+        )
+        cfg = VideoConfig(session_duration_s=self.config.video_duration_s)
+        for op, schedule in schedules.items():
+            metrics = run_video_session(schedule, cfg)
+            self._dataset.video_runs.append(
+                VideoRunResult(
+                    test_id=test_ids[op],
+                    operator=op,
+                    server_kind=servers[op].kind,
+                    qoe=metrics.qoe,
+                    avg_bitrate_mbps=metrics.avg_bitrate_mbps,
+                    rebuffer_ratio=metrics.rebuffer_ratio,
+                    ho_count=schedule.handover_count(),
+                    frac_hs5g=schedule.fraction_on(HIGH_THROUGHPUT_TECHS),
+                    static=False,
+                    downlink_megabits=metrics.downlink_megabits,
+                )
+            )
+            self._dataset.tests.append(
+                TestRecord(
+                    test_id=test_ids[op], test_type=TestType.VIDEO_360, operator=op,
+                    start_time_s=start_time, end_time_s=self._time_s,
+                    start_mark_m=start_mark, end_mark_m=self._mark_m,
+                    server_kind=servers[op].kind, static=False,
+                )
+            )
+
+    def _run_gaming_test(self) -> None:
+        start_pos = self.route.position_at(self._mark_m)
+        servers = self._servers_now(start_pos)
+        test_ids = {op: self._next_test_id() for op in Operator}
+        start_time, start_mark = self._time_s, self._mark_m
+        schedules = self._collect_schedule(
+            self.config.gaming_duration_s, TrafficProfile.BACKLOGGED_DL,
+            Direction.DOWNLINK, servers, test_ids,
+        )
+        for op, schedule in schedules.items():
+            metrics = run_gaming_session(schedule)
+            self._dataset.gaming_runs.append(
+                GamingRunResult(
+                    test_id=test_ids[op],
+                    operator=op,
+                    server_kind=servers[op].kind,
+                    avg_bitrate_mbps=metrics.avg_bitrate_mbps,
+                    median_latency_ms=metrics.median_latency_ms,
+                    p95_latency_ms=metrics.p95_latency_ms,
+                    frame_drop_rate=metrics.frame_drop_rate,
+                    ho_count=schedule.handover_count(),
+                    frac_hs5g=schedule.fraction_on(HIGH_THROUGHPUT_TECHS),
+                    static=False,
+                    downlink_megabits=metrics.downlink_megabits,
+                )
+            )
+            self._dataset.tests.append(
+                TestRecord(
+                    test_id=test_ids[op], test_type=TestType.CLOUD_GAMING, operator=op,
+                    start_time_s=start_time, end_time_s=self._time_s,
+                    start_mark_m=start_mark, end_mark_m=self._mark_m,
+                    server_kind=servers[op].kind, static=False,
+                )
+            )
+
+    # -- static baselines -----------------------------------------------------------
+
+    def _run_static_battery(self, city_name: str) -> None:
+        """Static measurements in a city, facing the best 5G BS (§5.1)."""
+        city_mark = self.route.city_mark_m(city_name)
+        position = self.route.position_at(city_mark)
+        for op in Operator:
+            session = self._sessions[op]
+            site = session.find_static_site(city_mark, city_span_m=8_000.0)
+            if site is None:
+                continue  # no mmWave/midband here: skip, as the paper did
+            server = self._servers.select(op, position.point, position.timezone)
+            self._run_static_throughput(op, site, position, server, Direction.DOWNLINK)
+            self._run_static_throughput(op, site, position, server, Direction.UPLINK)
+            self._run_static_rtt(op, site, position, server)
+            if self.config.include_apps:
+                self._run_static_apps(op, site, position, server)
+            session.handover_engine.reset_serving()
+
+    def _static_schedule(
+        self,
+        op: Operator,
+        site: StaticSite,
+        position: RoutePosition,
+        server: Server,
+        duration_s: float,
+        direction: str,
+    ) -> LinkSchedule:
+        ticks = int(duration_s / self.config.tick_s)
+        t, ul, dl, rtt, tech = [], [], [], [], []
+        session = self._sessions[op]
+        for i in range(ticks):
+            tick = session.static_tick(
+                site, position, self._time_s + i * self.config.tick_s, direction, server
+            )
+            t.append(tick.time_s)
+            ul.append(tick.capacity_ul_mbps)
+            dl.append(tick.capacity_dl_mbps)
+            rtt.append(tick.rtt_ms)
+            tech.append(tick.tech)
+        return LinkSchedule(
+            times_s=np.asarray(t), tick_s=self.config.tick_s,
+            ul_mbps=np.asarray(ul), dl_mbps=np.asarray(dl),
+            rtt_ms=np.asarray(rtt), techs=tuple(tech), interruptions=(),
+        )
+
+    def _run_static_throughput(
+        self, op: Operator, site: StaticSite, position: RoutePosition,
+        server: Server, direction: str,
+    ) -> None:
+        test_type = (
+            TestType.DOWNLINK_THROUGHPUT
+            if direction == Direction.DOWNLINK
+            else TestType.UPLINK_THROUGHPUT
+        )
+        duration = TEST_DURATIONS_S[test_type]
+        ticks = int(duration / self.config.tick_s)
+        test_id = self._next_test_id()
+        flow = CubicFlow(self._rngs.stream(f"tcp-{op.code}"))
+        start_time = self._time_s
+        session = self._sessions[op]
+        for _ in range(ticks):
+            self._time_s += self.config.tick_s
+            tick = session.static_tick(site, position, self._time_s, direction, server)
+            tput = flow.advance(
+                capacity_mbps=tick.capacity_mbps(direction),
+                rtt_ms=max(tick.rtt_ms * _TCP_RTT_INFLATION, _TCP_RTT_FLOOR_MS),
+                dt_s=self.config.tick_s,
+                bler=tick.bler,
+            )
+            self._record_tput_tick(test_id, op, direction, tick, tput, static=True)
+        self._dataset.tests.append(
+            TestRecord(
+                test_id=test_id, test_type=test_type, operator=op,
+                start_time_s=start_time, end_time_s=self._time_s,
+                start_mark_m=position.distance_m, end_mark_m=position.distance_m,
+                server_kind=server.kind, static=True,
+            )
+        )
+
+    def _run_static_rtt(
+        self, op: Operator, site: StaticSite, position: RoutePosition, server: Server
+    ) -> None:
+        duration = TEST_DURATIONS_S[TestType.RTT]
+        interval = 0.2
+        test_id = self._next_test_id()
+        start_time = self._time_s
+        session = self._sessions[op]
+        for _ in range(int(duration / interval)):
+            self._time_s += interval
+            tick = session.static_tick(
+                site, position, self._time_s, Direction.DOWNLINK, server
+            )
+            self._dataset.rtt_samples.append(
+                RttSample(
+                    test_id=test_id, operator=op, time_s=self._time_s,
+                    mark_m=position.distance_m, speed_mph=0.0,
+                    region=position.region, timezone=position.timezone,
+                    tech=tick.tech, rtt_ms=tick.rtt_ms,
+                    server_kind=server.kind, static=True,
+                )
+            )
+        self._dataset.tests.append(
+            TestRecord(
+                test_id=test_id, test_type=TestType.RTT, operator=op,
+                start_time_s=start_time, end_time_s=self._time_s,
+                start_mark_m=position.distance_m, end_mark_m=position.distance_m,
+                server_kind=server.kind, static=True,
+            )
+        )
+
+    def _run_static_apps(
+        self, op: Operator, site: StaticSite, position: RoutePosition, server: Server
+    ) -> None:
+        for app_config, test_type in ((AR_CONFIG, TestType.AR), (CAV_CONFIG, TestType.CAV)):
+            for compression in (False, True):
+                schedule = self._static_schedule(
+                    op, site, position, server, app_config.duration_s, Direction.UPLINK
+                )
+                metrics = run_offload_app(schedule, app_config, compression)
+                self._time_s += app_config.duration_s
+                self._dataset.offload_runs.append(
+                    OffloadRunResult(
+                        app=test_type, test_id=self._next_test_id(), operator=op,
+                        server_kind=server.kind, compression=compression,
+                        mean_e2e_ms=metrics.mean_e2e_ms,
+                        median_e2e_ms=metrics.median_e2e_ms,
+                        offload_fps=metrics.offload_fps,
+                        map_score=metrics.map_score,
+                        ho_count=0, frac_hs5g=schedule.fraction_on(HIGH_THROUGHPUT_TECHS),
+                        static=True, uplink_megabits=metrics.uplink_megabits,
+                    )
+                )
+        schedule = self._static_schedule(
+            op, site, position, server, self.config.video_duration_s, Direction.DOWNLINK
+        )
+        video = run_video_session(
+            schedule, VideoConfig(session_duration_s=self.config.video_duration_s)
+        )
+        self._time_s += self.config.video_duration_s
+        self._dataset.video_runs.append(
+            VideoRunResult(
+                test_id=self._next_test_id(), operator=op, server_kind=server.kind,
+                qoe=video.qoe, avg_bitrate_mbps=video.avg_bitrate_mbps,
+                rebuffer_ratio=video.rebuffer_ratio, ho_count=0,
+                frac_hs5g=schedule.fraction_on(HIGH_THROUGHPUT_TECHS),
+                static=True, downlink_megabits=video.downlink_megabits,
+            )
+        )
+        schedule = self._static_schedule(
+            op, site, position, server, self.config.gaming_duration_s, Direction.DOWNLINK
+        )
+        gaming = run_gaming_session(schedule)
+        self._time_s += self.config.gaming_duration_s
+        self._dataset.gaming_runs.append(
+            GamingRunResult(
+                test_id=self._next_test_id(), operator=op, server_kind=server.kind,
+                avg_bitrate_mbps=gaming.avg_bitrate_mbps,
+                median_latency_ms=gaming.median_latency_ms,
+                p95_latency_ms=gaming.p95_latency_ms,
+                frame_drop_rate=gaming.frame_drop_rate, ho_count=0,
+                frac_hs5g=schedule.fraction_on(HIGH_THROUGHPUT_TECHS),
+                static=True, downlink_megabits=gaming.downlink_megabits,
+            )
+        )
+
+    # -- recording helpers ------------------------------------------------------------
+
+    def _record_tput_tick(
+        self,
+        test_id: int,
+        op: Operator,
+        direction: str,
+        tick: LinkTick,
+        tput_mbps: float,
+        static: bool,
+    ) -> None:
+        self._dataset.throughput_samples.append(
+            ThroughputSample(
+                test_id=test_id,
+                operator=op,
+                direction=direction,
+                time_s=tick.time_s,
+                mark_m=tick.mark_m,
+                speed_mph=tick.speed_mph,
+                region=tick.position.region,
+                timezone=tick.position.timezone,
+                tech=tick.tech,
+                rsrp_dbm=tick.rsrp_dbm,
+                mcs=tick.mcs,
+                bler=tick.bler,
+                n_ccs=tick.n_ccs,
+                tput_mbps=tput_mbps,
+                server_kind=tick.server.kind,
+                ho_count=len(tick.handovers),
+                static=static,
+            )
+        )
+        for ev in tick.handovers:
+            self._dataset.handovers.append(
+                HandoverRecord(test_id=test_id, direction=direction, event=ev)
+            )
+
+    def _record_passive_coverage(self) -> None:
+        """Walk the route per operator with the passive handover-logger."""
+        # Imported here: repro.xcal pulls in repro.campaign at package level,
+        # so a module-level import would be circular.
+        from repro.xcal.handover_logger import run_handover_logger
+
+        for op in Operator:
+            trace = run_handover_logger(
+                op,
+                self._sessions[op].deployment,
+                self._rngs.stream(f"passive-{op.code}"),
+            )
+            self._dataset.passive_coverage.extend(trace.segments)
+            self._dataset.passive_handover_counts[op] = trace.macro_handovers
+
+    def finalize_connected_cells(self) -> None:
+        """Record the distinct cells each phone connected to."""
+        for op, session in self._sessions.items():
+            macro_cells = {
+                c.cell_id
+                for z in session.deployment.macro_zones
+                for c in z.cells.values()
+            }
+            self._dataset.connected_cells[op] = len(
+                set(session.handover_engine.connected_cells) | macro_cells
+            )
+
+
+def generate_dataset(
+    seed: int = 42,
+    scale: float = 1.0,
+    include_apps: bool = True,
+    include_static: bool = True,
+) -> DriveDataset:
+    """Generate a full campaign dataset — the library's main entry point.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; identical seeds produce identical datasets.
+    scale:
+        Active-testing duty cycle along the route (1.0 reproduces the
+        paper's back-to-back schedule; 0.1 is a quick representative slice).
+    include_apps / include_static:
+        Toggle the application tests and the static city baselines.
+    """
+    campaign = DriveCampaign(
+        CampaignConfig(
+            seed=seed, scale=scale,
+            include_apps=include_apps, include_static=include_static,
+        )
+    )
+    dataset = campaign.run()
+    campaign.finalize_connected_cells()
+    return dataset

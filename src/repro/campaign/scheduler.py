@@ -1,0 +1,73 @@
+"""Round-robin test scheduling.
+
+The paper ran its tests "in a round robin fashion" (§3).  A
+:class:`CyclePlan` makes the cycle explicit and configurable: the default
+plan reproduces the paper's full suite; reduced plans (network-only, single
+app) support focused studies without paying for the whole battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.tests import TEST_DURATIONS_S, TestType
+from repro.errors import CampaignError
+
+__all__ = ["CyclePlan", "FULL_CYCLE", "NETWORK_ONLY_CYCLE"]
+
+
+@dataclass(frozen=True)
+class CyclePlan:
+    """An ordered round-robin cycle of test types.
+
+    AR and CAV entries expand into two runs each (with and without frame
+    compression), matching the paper's methodology (Appendix C.1).
+    """
+
+    tests: tuple[TestType, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tests:
+            raise CampaignError("a cycle plan needs at least one test")
+
+    def without_apps(self) -> "CyclePlan":
+        """The plan restricted to network tests (throughput + RTT)."""
+        network = tuple(
+            t for t in self.tests
+            if t in (TestType.DOWNLINK_THROUGHPUT, TestType.UPLINK_THROUGHPUT, TestType.RTT)
+        )
+        if not network:
+            raise CampaignError("plan has no network tests to keep")
+        return CyclePlan(tests=network)
+
+    def run_count(self, test_type: TestType) -> int:
+        """Number of runs of ``test_type`` per cycle (AR/CAV double up)."""
+        n = sum(1 for t in self.tests if t is test_type)
+        if test_type in (TestType.AR, TestType.CAV):
+            return 2 * n
+        return n
+
+    def nominal_duration_s(self, gap_s: float = 4.0) -> float:
+        """Approximate wall-clock duration of one cycle including gaps."""
+        total = 0.0
+        runs = 0
+        for t in self.tests:
+            multiplier = 2 if t in (TestType.AR, TestType.CAV) else 1
+            total += multiplier * TEST_DURATIONS_S[t]
+            runs += multiplier
+        return total + runs * gap_s
+
+
+#: The paper's full round-robin suite (§3).
+FULL_CYCLE = CyclePlan(tests=(
+    TestType.DOWNLINK_THROUGHPUT,
+    TestType.UPLINK_THROUGHPUT,
+    TestType.RTT,
+    TestType.AR,
+    TestType.CAV,
+    TestType.VIDEO_360,
+    TestType.CLOUD_GAMING,
+))
+
+#: Throughput + RTT only — the §5 analyses without the app battery.
+NETWORK_ONLY_CYCLE = FULL_CYCLE.without_apps()

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class to handle any failure originating here rather than a
+built-in raised by our internals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class RouteError(ReproError):
+    """A route could not be constructed or a position query was invalid."""
+
+
+class DeploymentError(ReproError):
+    """A radio deployment model could not be built or queried."""
+
+
+class LogFormatError(ReproError):
+    """A log record or file did not match the expected format."""
+
+
+class SyncError(ReproError):
+    """App-layer and XCAL logs could not be matched/synchronised."""
+
+
+class CampaignError(ReproError):
+    """The drive campaign could not be scheduled or executed."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to run on unsuitable or empty data."""

@@ -1,0 +1,27 @@
+"""Geographic substrate: route, coordinates, timezones, regions, speed.
+
+This package models the physical drive the paper performed: a 5711+ km trip
+from Los Angeles to Boston through 10 major cities, crossing 4 US timezones,
+with measurements taken on inter-state highways, in suburban areas, and inside
+cities.
+"""
+
+from repro.geo.coords import LatLon, haversine_m, interpolate
+from repro.geo.regions import RegionType
+from repro.geo.route import Route, RouteSegment, RoutePosition, build_cross_country_route
+from repro.geo.speed import SpeedProfile
+from repro.geo.timezones import Timezone, timezone_for_longitude
+
+__all__ = [
+    "LatLon",
+    "haversine_m",
+    "interpolate",
+    "RegionType",
+    "Route",
+    "RouteSegment",
+    "RoutePosition",
+    "build_cross_country_route",
+    "SpeedProfile",
+    "Timezone",
+    "timezone_for_longitude",
+]

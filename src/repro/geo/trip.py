@@ -1,0 +1,108 @@
+"""The 8-day trip timeline: drive days and overnight stops.
+
+The paper's campaign ran 08/08/2022–08/15/2022 with overnight stops in the
+cities visited.  Campaign simulation time is *continuous driving time*;
+mapping it onto wall clocks therefore needs a timeline that inserts the
+overnight gaps.  This matters for the log-synchronisation software (§B):
+real DRM filenames span eight calendar days and four timezones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.errors import ConfigurationError
+from repro.geo.route import Route
+
+__all__ = ["TripTimeline", "build_paper_timeline"]
+
+#: The paper's trip started 08/08/2022; we anchor day 1 at 08:00 Pacific.
+PAPER_TRIP_START_UTC = datetime(2022, 8, 8, 15, 0, 0)
+
+#: Driving hours per day before the overnight stop.
+_DRIVE_HOURS_PER_DAY = 10.0
+
+#: Overnight stop length (to the next morning's 08:00-ish start).
+_OVERNIGHT_HOURS = 14.0
+
+
+@dataclass(frozen=True)
+class TripTimeline:
+    """Piecewise mapping from continuous campaign seconds to wall-clock UTC.
+
+    The campaign clock counts only active (driving/testing) seconds;
+    the timeline inserts an overnight gap after every
+    ``drive_seconds_per_day`` of activity.
+
+    Examples
+    --------
+    >>> tl = build_paper_timeline()
+    >>> tl.wall_clock_utc(0.0)
+    datetime.datetime(2022, 8, 8, 15, 0)
+    >>> tl.day_of(0.0)
+    1
+    """
+
+    start_utc: datetime
+    drive_seconds_per_day: float
+    overnight_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.drive_seconds_per_day <= 0 or self.overnight_seconds < 0:
+            raise ConfigurationError("timeline durations must be positive")
+
+    def day_of(self, campaign_s: float) -> int:
+        """1-based trip day containing this campaign second."""
+        if campaign_s < 0:
+            raise ConfigurationError("campaign time must be non-negative")
+        return int(campaign_s // self.drive_seconds_per_day) + 1
+
+    def wall_clock_utc(self, campaign_s: float) -> datetime:
+        """UTC wall-clock time of a campaign second, overnight gaps included."""
+        day_index = self.day_of(campaign_s) - 1
+        return (
+            self.start_utc
+            + timedelta(seconds=campaign_s)
+            + timedelta(seconds=day_index * self.overnight_seconds)
+        )
+
+    def total_days(self, campaign_duration_s: float) -> int:
+        """Number of calendar days a campaign of this active duration spans."""
+        return self.day_of(max(campaign_duration_s - 1e-9, 0.0))
+
+    def campaign_seconds(self, wall_utc: datetime) -> float:
+        """Inverse mapping: campaign second of a wall-clock instant.
+
+        Instants that fall inside an overnight stop map to the stop's start
+        (no activity happens overnight).
+        """
+        elapsed = (wall_utc - self.start_utc).total_seconds()
+        if elapsed < 0:
+            raise ConfigurationError("instant precedes the trip start")
+        day_span = self.drive_seconds_per_day + self.overnight_seconds
+        full_days = int(elapsed // day_span)
+        within = elapsed - full_days * day_span
+        return full_days * self.drive_seconds_per_day + min(
+            within, self.drive_seconds_per_day
+        )
+
+
+def build_paper_timeline() -> TripTimeline:
+    """The paper's schedule: 8 days, ~10 driving hours each."""
+    return TripTimeline(
+        start_utc=PAPER_TRIP_START_UTC,
+        drive_seconds_per_day=_DRIVE_HOURS_PER_DAY * 3600.0,
+        overnight_seconds=_OVERNIGHT_HOURS * 3600.0,
+    )
+
+
+def expected_drive_days(route: Route, average_speed_mps: float = 27.0) -> int:
+    """How many driving days the route needs at a cruise speed.
+
+    The paper's 5711 km at highway speeds with city detours took 8 days;
+    this helper sanity-checks a timeline against a route.
+    """
+    driving_s = route.total_length_m / average_speed_mps
+    timeline = build_paper_timeline()
+    return timeline.total_days(driving_s)

@@ -1,0 +1,34 @@
+"""ICMP RTT test, mirroring the paper's methodology.
+
+Each RTT test ran for 20 s sending one ICMP echo every 200 ms (§5); the
+handover-logger phones ran the same traffic continuously as a keep-alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import HANDOVER_LOGGER_PING_INTERVAL_S
+
+__all__ = ["PingTest"]
+
+
+@dataclass(frozen=True, slots=True)
+class PingTest:
+    """Configuration of an ICMP RTT test."""
+
+    duration_s: float = 20.0
+    interval_s: float = HANDOVER_LOGGER_PING_INTERVAL_S
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.interval_s <= 0:
+            raise ValueError("duration and interval must be positive")
+
+    @property
+    def sample_count(self) -> int:
+        """Number of echo requests sent over the test."""
+        return int(self.duration_s / self.interval_s)
+
+    def sample_times_s(self) -> list[float]:
+        """Send times of each echo relative to test start."""
+        return [i * self.interval_s for i in range(self.sample_count)]

@@ -1,0 +1,150 @@
+"""Single-flow TCP throughput model (CUBIC-inspired).
+
+The paper deliberately measured with **one** TCP CUBIC connection (nuttcp's
+default) "to measure the performance that would be experienced by
+applications ... instead of measuring peak performance" (§5).  A single flow
+ramps slowly after losses and handovers, which is a large part of why driving
+medians sit at a few tens of Mbps under links whose PHY capacity is hundreds.
+
+We simulate the congestion window in the rate domain at the 500 ms tick
+scale: slow-start doubling until the first loss, CUBIC's concave-convex
+window growth between losses, multiplicative decrease (β = 0.7) on loss.
+Loss events arise from link-layer residual errors (RLC gives up under deep
+fades), from queue overflow whenever the flow saturates the link capacity,
+and from handover interruptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CubicFlow"]
+
+#: CUBIC's multiplicative decrease factor.
+_BETA = 0.7
+#: CUBIC's scaling constant (window units: Mbit of in-flight data).
+_CUBIC_C = 0.4
+#: Probability per tick that a saturated queue drops (tail-drop AQM-less).
+_SATURATION_LOSS_PROB = 0.35
+#: Residual random loss per tick scales with BLER.
+_BLER_LOSS_FACTOR = 0.35
+
+
+@dataclass
+class CubicFlow:
+    """One long-lived TCP flow over a time-varying link.
+
+    Call :meth:`advance` once per tick with the instantaneous link capacity
+    and RTT; it returns the goodput achieved during that tick in Mbps.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> flow = CubicFlow(rng=np.random.default_rng(0))
+    >>> tput = [flow.advance(capacity_mbps=100.0, rtt_ms=50.0, dt_s=0.5,
+    ...                      bler=0.05) for _ in range(20)]
+    >>> max(tput) <= 100.0
+    True
+    """
+
+    rng: np.random.Generator
+    #: Initial window expressed as a rate seed (IW10 over a typical RTT).
+    initial_rate_mbps: float = 1.2
+
+    def __post_init__(self) -> None:
+        self._w_mbit: float = self.initial_rate_mbps * 0.05  # window in Mbit
+        self._w_max_mbit: float = 0.0
+        self._slow_start = True
+        self._ssthresh_mbit = float("inf")
+        self._t_since_loss_s = 0.0
+
+    @property
+    def window_mbit(self) -> float:
+        """Current congestion window in megabits of in-flight data."""
+        return self._w_mbit
+
+    def advance(
+        self,
+        capacity_mbps: float,
+        rtt_ms: float,
+        dt_s: float,
+        bler: float,
+        interruption_s: float = 0.0,
+    ) -> float:
+        """Advance the flow by one tick; return achieved goodput in Mbps.
+
+        Parameters
+        ----------
+        capacity_mbps:
+            Link capacity available to this flow during the tick.
+        rtt_ms:
+            Current round-trip time (window-to-rate conversion and growth
+            pacing).
+        dt_s:
+            Tick duration in seconds.
+        bler:
+            Residual link error rate (drives random loss).
+        interruption_s:
+            Time within the tick during which the link was down (handover
+            execution); no data flows then and a loss event may fire.
+        """
+        if capacity_mbps <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity_mbps}")
+        if rtt_ms <= 0.0:
+            raise ValueError(f"rtt must be positive, got {rtt_ms}")
+        if not 0.0 <= interruption_s <= dt_s:
+            raise ValueError("interruption must lie within the tick")
+
+        rtt_s = rtt_ms / 1000.0
+        rate = self._w_mbit / rtt_s
+        saturated = rate >= capacity_mbps
+        achieved = min(rate, capacity_mbps)
+
+        # Handover interruption: scale goodput by available airtime; a long
+        # interruption usually costs a loss event too.
+        if interruption_s > 0.0:
+            achieved *= 1.0 - interruption_s / dt_s
+            if self.rng.random() < min(interruption_s / 0.1, 1.0) * 0.2:
+                self._register_loss()
+                return float(max(achieved, 0.0))
+
+        # Loss processes.
+        loss = False
+        if saturated and self.rng.random() < _SATURATION_LOSS_PROB:
+            loss = True
+        elif self.rng.random() < min(bler * _BLER_LOSS_FACTOR, 0.9) * dt_s:
+            loss = True
+
+        if loss:
+            self._register_loss()
+        else:
+            self._grow(rtt_s, dt_s, capacity_mbps)
+
+        return float(max(achieved, 0.0))
+
+    # -- internals -------------------------------------------------------
+
+    def _register_loss(self) -> None:
+        self._w_max_mbit = self._w_mbit
+        self._w_mbit = max(self._w_mbit * _BETA, 0.05)
+        self._ssthresh_mbit = self._w_mbit
+        self._slow_start = False
+        self._t_since_loss_s = 0.0
+
+    def _grow(self, rtt_s: float, dt_s: float, capacity_mbps: float) -> None:
+        if self._slow_start:
+            # Double per RTT until ssthresh.
+            factor = 2.0 ** (dt_s / rtt_s)
+            self._w_mbit = min(self._w_mbit * factor, self._ssthresh_mbit)
+            if self._w_mbit >= self._ssthresh_mbit:
+                self._slow_start = False
+            # Do not balloon absurdly past the pipe within a single tick.
+            self._w_mbit = min(self._w_mbit, capacity_mbps * rtt_s * 2.0)
+            return
+        self._t_since_loss_s += dt_s
+        k = (self._w_max_mbit * (1.0 - _BETA) / _CUBIC_C) ** (1.0 / 3.0)
+        target = _CUBIC_C * (self._t_since_loss_s - k) ** 3 + self._w_max_mbit
+        # CUBIC never shrinks the window during growth.
+        self._w_mbit = max(self._w_mbit, min(target, capacity_mbps * rtt_s * 2.0))

@@ -1,0 +1,18 @@
+"""Operator technology-selection policies.
+
+Operators do not simply serve the best deployed technology: the paper's
+central methodological finding (§4.1) is that a UE's serving technology
+depends on its *traffic*.  Passive, lightly loaded UEs camp on LTE/LTE-A;
+backlogged downlink traffic gets upgraded to high-speed 5G where deployed;
+backlogged uplink traffic is often demoted to 5G-low or LTE-A (§4.2).
+"""
+
+from repro.policy.profiles import PolicyProfile, DEFAULT_POLICY_PROFILES, TrafficProfile
+from repro.policy.selection import TechnologySelector
+
+__all__ = [
+    "TrafficProfile",
+    "PolicyProfile",
+    "DEFAULT_POLICY_PROFILES",
+    "TechnologySelector",
+]

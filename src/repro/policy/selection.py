@@ -1,0 +1,108 @@
+"""Technology selection: which deployed technology actually serves a UE.
+
+Combines the deployment (what exists at this location) with the operator's
+policy profile (what the scheduler grants for this traffic).  Selections are
+*sticky per zone and traffic profile*: the serving configuration changes at
+handovers, not at every sample, matching how real RRC state behaves and how
+the paper measures coverage in miles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rng import choose_weighted
+
+from repro.geo.regions import RegionType
+from repro.policy.profiles import DEFAULT_POLICY_PROFILES, PolicyProfile, TrafficProfile
+from repro.radio.deployment import DeploymentZone
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+
+__all__ = ["TechnologySelector"]
+
+
+def _best_deployed_4g(zone: DeploymentZone) -> RadioTechnology:
+    """The most capable 4G technology deployed in a zone (LTE always is)."""
+    if RadioTechnology.LTE_A in zone.deployed:
+        return RadioTechnology.LTE_A
+    return RadioTechnology.LTE
+
+
+def _cascade_down(zone: DeploymentZone, target: RadioTechnology) -> RadioTechnology:
+    """Resolve ``target`` to a technology actually deployed in ``zone``,
+    walking down the capability ranking if needed."""
+    candidates = sorted(zone.deployed, key=lambda t: t.rank, reverse=True)
+    for tech in candidates:
+        if tech.rank <= target.rank:
+            return tech
+    return RadioTechnology.LTE
+
+
+@dataclass
+class TechnologySelector:
+    """Per-operator, per-UE serving-technology decision maker.
+
+    Examples
+    --------
+    The selector is deterministic per (zone, traffic profile) within one UE
+    session: repeated queries while driving through a zone return the same
+    serving technology.
+    """
+
+    operator: Operator
+    rng: np.random.Generator
+    profile: PolicyProfile | None = None
+    _sticky: dict[tuple[int, TrafficProfile], RadioTechnology] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            self.profile = DEFAULT_POLICY_PROFILES[self.operator]
+        elif self.profile.operator is not self.operator:
+            raise ValueError(
+                f"profile for {self.profile.operator} used with {self.operator}"
+            )
+
+    def select(self, zone: DeploymentZone, traffic: TrafficProfile) -> RadioTechnology:
+        """Serving technology for this zone under the given traffic profile."""
+        key = (zone.index, traffic)
+        cached = self._sticky.get(key)
+        if cached is not None:
+            return cached
+        tech = self._decide(zone, traffic)
+        self._sticky[key] = tech
+        # Keep the sticky cache bounded; old zones are never revisited.
+        if len(self._sticky) > 256:
+            for old_key in list(self._sticky)[:-128]:
+                del self._sticky[old_key]
+        return tech
+
+    def _decide(self, zone: DeploymentZone, traffic: TrafficProfile) -> RadioTechnology:
+        if traffic is TrafficProfile.BACKLOGGED_DL:
+            if self.rng.random() < self.profile.dl_hold_back_prob:
+                return _cascade_down(zone, RadioTechnology.NR_LOW)
+            return zone.best_tech
+
+        if traffic is TrafficProfile.BACKLOGGED_UL:
+            rule = self.profile.ul_demotion[zone.best_tech]
+            target = choose_weighted(self.rng, list(rule.keys()), list(rule.values()))
+            return _cascade_down(zone, target)
+
+        # Idle / keep-alive traffic: conservative upgrades only.
+        if (
+            zone.best_tech is RadioTechnology.NR_MMWAVE
+            and zone.region is RegionType.CITY
+            and self.rng.random() < self.profile.idle_mmwave_city_prob
+        ):
+            return RadioTechnology.NR_MMWAVE
+        upgrade_prob = self.profile.idle_5g_upgrade_prob[zone.timezone]
+        if zone.best_tech.is_5g and self.rng.random() < upgrade_prob:
+            # Idle upgrades land on the best non-mmWave NR layer deployed.
+            if zone.best_tech is RadioTechnology.NR_MMWAVE:
+                return _cascade_down(zone, RadioTechnology.NR_MID)
+            return zone.best_tech
+        return _best_deployed_4g(zone)

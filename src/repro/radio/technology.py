@@ -1,0 +1,107 @@
+"""Cellular radio technologies spanned by the study.
+
+The paper covers "all cellular technologies available today": LTE, LTE-A, and
+5G NR in the low, mid, and mmWave bands.  §5.4 groups them into
+high-throughput (HT: 5G mmWave, 5G midband) and low-throughput
+(LT: LTE, LTE-A, 5G-low) classes for the operator-diversity analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RadioTechnology(enum.Enum):
+    """A cellular technology+band class, ordered roughly by capability."""
+
+    LTE = ("LTE", 0)
+    LTE_A = ("LTE-A", 1)
+    NR_LOW = ("5G-low", 2)
+    NR_MID = ("5G-mid", 3)
+    NR_MMWAVE = ("5G-mmWave", 4)
+
+    def __init__(self, label: str, rank: int) -> None:
+        self.label = label
+        #: Capability rank used to classify vertical handovers (4G↔5G).
+        self.rank = rank
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+    @property
+    def is_5g(self) -> bool:
+        """True for any NR technology (low/mid/mmWave)."""
+        return self in _NR_TECHS
+
+    @property
+    def is_4g(self) -> bool:
+        """True for LTE or LTE-A."""
+        return not self.is_5g
+
+    @property
+    def is_high_throughput(self) -> bool:
+        """True for the paper's HT class: 5G mmWave or 5G midband (§5.4)."""
+        return self in HIGH_THROUGHPUT_TECHS
+
+    @property
+    def carrier_ghz(self) -> float:
+        """Representative carrier frequency in GHz."""
+        return _CARRIER_GHZ[self]
+
+    @property
+    def channel_mhz(self) -> float:
+        """Representative per-carrier channel bandwidth in MHz."""
+        return _CHANNEL_MHZ[self]
+
+    @property
+    def ran_latency_ms(self) -> float:
+        """Typical one-way RAN latency contribution in ms (scheduling +
+        HARQ), lowest for mmWave's short slots."""
+        return _RAN_LATENCY_MS[self]
+
+
+_NR_TECHS = frozenset(
+    {RadioTechnology.NR_LOW, RadioTechnology.NR_MID, RadioTechnology.NR_MMWAVE}
+)
+
+#: §5.4's high-throughput class.
+HIGH_THROUGHPUT_TECHS: frozenset[RadioTechnology] = frozenset(
+    {RadioTechnology.NR_MID, RadioTechnology.NR_MMWAVE}
+)
+
+#: §5.4's low-throughput class.
+LOW_THROUGHPUT_TECHS: frozenset[RadioTechnology] = frozenset(
+    {RadioTechnology.LTE, RadioTechnology.LTE_A, RadioTechnology.NR_LOW}
+)
+
+_CARRIER_GHZ: dict[RadioTechnology, float] = {
+    RadioTechnology.LTE: 1.9,
+    RadioTechnology.LTE_A: 2.1,
+    RadioTechnology.NR_LOW: 0.85,
+    RadioTechnology.NR_MID: 2.6,   # T-Mobile n41 / C-band neighbourhood
+    RadioTechnology.NR_MMWAVE: 28.0,
+}
+
+_CHANNEL_MHZ: dict[RadioTechnology, float] = {
+    RadioTechnology.LTE: 20.0,
+    RadioTechnology.LTE_A: 20.0,
+    RadioTechnology.NR_LOW: 20.0,
+    RadioTechnology.NR_MID: 100.0,
+    RadioTechnology.NR_MMWAVE: 400.0,
+}
+
+_RAN_LATENCY_MS: dict[RadioTechnology, float] = {
+    RadioTechnology.LTE: 16.0,
+    RadioTechnology.LTE_A: 13.0,
+    RadioTechnology.NR_LOW: 12.0,
+    RadioTechnology.NR_MID: 7.0,
+    RadioTechnology.NR_MMWAVE: 3.0,
+}
+
+ALL_TECHNOLOGIES: tuple[RadioTechnology, ...] = (
+    RadioTechnology.LTE,
+    RadioTechnology.LTE_A,
+    RadioTechnology.NR_LOW,
+    RadioTechnology.NR_MID,
+    RadioTechnology.NR_MMWAVE,
+)

@@ -1,0 +1,5 @@
+"""Plain-text rendering of tables and figure summaries for the benchmarks."""
+
+from repro.reporting.tables import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,104 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library draws from a
+:class:`numpy.random.Generator`.  To make an entire campaign reproducible from
+a single integer seed while keeping components statistically independent, we
+spawn *named substreams* from a root seed using ``numpy``'s ``SeedSequence``
+machinery: the same (seed, name) pair always yields the same stream,
+regardless of the order in which substreams are requested.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RngFactory", "default_rng", "choose_weighted", "clamp"]
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Pure-Python scalar clip (much faster than :func:`numpy.clip` on
+    scalars, which dominates tick-loop profiles otherwise)."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def choose_weighted(rng: np.random.Generator, items: list, weights: list[float]):
+    """Draw one item with the given (not necessarily normalised) weights.
+
+    A single ``rng.random()`` draw against the cumulative distribution —
+    ~30× faster than ``rng.choice(..., p=...)`` for the short lists used in
+    the deployment and policy layers.
+    """
+    total = 0.0
+    for w in weights:
+        total += w
+    u = rng.random() * total
+    acc = 0.0
+    for item, w in zip(items, weights):
+        acc += w
+        if u < acc:
+            return item
+    return items[-1]
+
+
+def _name_to_key(name: str) -> int:
+    """Map a substream name to a stable 32-bit spawn key."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+@dataclass
+class RngFactory:
+    """Factory of named, independent random substreams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole factory.  Two factories with the same seed
+        produce identical substreams for identical names.
+
+    Examples
+    --------
+    >>> f = RngFactory(seed=7)
+    >>> a = f.stream("channel").standard_normal()
+    >>> b = RngFactory(seed=7).stream("channel").standard_normal()
+    >>> a == b
+    True
+    """
+
+    seed: int
+    _cache: dict[str, np.random.Generator] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for substream ``name`` (cached per factory).
+
+        Repeated calls with the same name on the same factory return the
+        *same* generator object, so draws continue rather than restart.
+        """
+        if name not in self._cache:
+            seq = np.random.SeedSequence([self.seed, _name_to_key(name)])
+            self._cache[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._cache[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for ``name``, restarting its sequence."""
+        seq = np.random.SeedSequence([self.seed, _name_to_key(name)])
+        gen = np.random.Generator(np.random.PCG64(seq))
+        self._cache[name] = gen
+        return gen
+
+    def child(self, name: str) -> "RngFactory":
+        """Derive a child factory whose streams are independent of ours."""
+        return RngFactory(seed=(self.seed * 1000003 + _name_to_key(name)) % (2**63))
+
+
+def default_rng(seed: int = 0) -> RngFactory:
+    """Convenience constructor mirroring :func:`numpy.random.default_rng`."""
+    return RngFactory(seed=seed)

@@ -1,0 +1,23 @@
+"""Log synchronisation: the paper's §B software, rebuilt.
+
+Given DRM files whose filenames carry *local* time and whose contents carry
+EDT, and app-layer logs stamped in UTC epoch or local wall-clock, this
+package normalises everything to UTC, matches each app log to its XCAL
+counterpart across the four timezones the trip crossed, and joins the two
+layers into a consolidated per-sample database — the "XCAP-M output" the
+analyses would consume in the authors' pipeline.
+"""
+
+from repro.sync.timestamps import edt_to_utc, local_to_utc, utc_offset_for_mark
+from repro.sync.matcher import match_logs, MatchedPair
+from repro.sync.database import ConsolidatedDatabase, ConsolidatedRow
+
+__all__ = [
+    "edt_to_utc",
+    "local_to_utc",
+    "utc_offset_for_mark",
+    "match_logs",
+    "MatchedPair",
+    "ConsolidatedDatabase",
+    "ConsolidatedRow",
+]

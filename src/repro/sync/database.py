@@ -1,0 +1,117 @@
+"""The consolidated measurement database.
+
+After matching (one app log ↔ one DRM capture), the app-layer samples and
+the XCAL KPI rows are joined on normalised UTC time.  This is the synthetic
+equivalent of the paper's "consolidated database, which includes both the
+XCAL and the app layer data" (§3, §B).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.errors import SyncError
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+from repro.sync.matcher import MatchedPair
+from repro.sync.timestamps import edt_to_utc
+
+__all__ = ["ConsolidatedRow", "ConsolidatedDatabase"]
+
+#: Maximum |app sample − KPI row| joining distance.
+JOIN_TOLERANCE_S = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class ConsolidatedRow:
+    """One joined (app metric, PHY KPIs) sample."""
+
+    utc: datetime
+    operator: Operator
+    test_label: str
+    app_value: float
+    technology: RadioTechnology
+    rsrp_dbm: float
+    mcs: int
+    bler: float
+    n_ccs: int
+
+
+@dataclass
+class ConsolidatedDatabase:
+    """Queryable join of app-layer and XCAL data."""
+
+    rows: list[ConsolidatedRow]
+    unmatched_app_samples: int
+
+    @classmethod
+    def build(cls, pairs: list[MatchedPair]) -> "ConsolidatedDatabase":
+        """Join each matched pair's samples on UTC time.
+
+        App samples with no KPI row within :data:`JOIN_TOLERANCE_S` are
+        counted in ``unmatched_app_samples`` rather than silently dropped.
+        """
+        rows: list[ConsolidatedRow] = []
+        unmatched = 0
+        for pair in pairs:
+            kpi_rows = sorted(pair.drm.kpi_records, key=lambda r: r.timestamp_edt)
+            kpi_utc = [edt_to_utc(r.timestamp_edt) for r in kpi_rows]
+            if not kpi_rows:
+                unmatched += len(pair.app_log.samples)
+                continue
+            base = pair.app_log.start_utc
+            for offset_s, value in pair.app_log.samples:
+                target = base + timedelta(seconds=offset_s)
+                idx = bisect.bisect_left(kpi_utc, target)
+                best_idx = None
+                best_delta = None
+                for j in (idx - 1, idx):
+                    if 0 <= j < len(kpi_utc):
+                        delta = abs((kpi_utc[j] - target) / timedelta(seconds=1))
+                        if best_delta is None or delta < best_delta:
+                            best_idx, best_delta = j, delta
+                if best_idx is None or best_delta is None or best_delta > JOIN_TOLERANCE_S:
+                    unmatched += 1
+                    continue
+                kpi = kpi_rows[best_idx]
+                rows.append(
+                    ConsolidatedRow(
+                        utc=target,
+                        operator=pair.app_log.operator,
+                        test_label=pair.app_log.test_label,
+                        app_value=value,
+                        technology=kpi.technology,
+                        rsrp_dbm=kpi.rsrp_dbm,
+                        mcs=kpi.mcs,
+                        bler=kpi.bler,
+                        n_ccs=kpi.n_ccs,
+                    )
+                )
+        return cls(rows=rows, unmatched_app_samples=unmatched)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def values(self, operator: Operator | None = None, test_label: str | None = None) -> list[float]:
+        """App-layer metric values, optionally filtered."""
+        return [
+            r.app_value
+            for r in self.rows
+            if (operator is None or r.operator is operator)
+            and (test_label is None or r.test_label == test_label)
+        ]
+
+    def match_rate(self) -> float:
+        """Fraction of app samples that found a KPI row.
+
+        Raises
+        ------
+        SyncError
+            If the database is empty (nothing was joined at all).
+        """
+        total = len(self.rows) + self.unmatched_app_samples
+        if total == 0:
+            raise SyncError("empty consolidated database")
+        return len(self.rows) / total

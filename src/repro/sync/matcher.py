@@ -1,0 +1,93 @@
+"""Matching app-layer logs to their XCAL DRM counterparts.
+
+The hard part (§B): a DRM filename carries *local* time with no timezone
+annotation, while the app log's filename carries UTC — and the trip crossed
+four timezones.  The matcher therefore tests every plausible continental-US
+offset for each candidate DRM file and accepts the (file, offset) pair whose
+implied start time lands closest to the app log's, requiring the same
+operator and test label and a configurable tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+from repro.errors import SyncError
+from repro.geo.timezones import ALL_TIMEZONES, Timezone
+from repro.sync.timestamps import local_to_utc
+from repro.xcal.applog import AppLogFile
+from repro.xcal.drm import DrmFile
+
+__all__ = ["MatchedPair", "match_logs"]
+
+#: Maximum |app start − implied DRM start| accepted as the same test.
+DEFAULT_TOLERANCE_S = 90.0
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    """One app log matched to its DRM capture."""
+
+    app_log: AppLogFile
+    drm: DrmFile
+    #: The timezone hypothesis under which the DRM filename matched.
+    inferred_timezone: Timezone
+    #: Residual |Δ| between the two start times, seconds.
+    residual_s: float
+
+
+def _best_offset(drm: DrmFile, app_log: AppLogFile) -> tuple[Timezone, float] | None:
+    """Best timezone hypothesis for a DRM file against an app log."""
+    best: tuple[Timezone, float] | None = None
+    for tz in ALL_TIMEZONES:
+        implied_utc = local_to_utc(drm.start_local, tz)
+        residual = abs((implied_utc - app_log.start_utc) / timedelta(seconds=1))
+        if best is None or residual < best[1]:
+            best = (tz, residual)
+    return best
+
+
+def match_logs(
+    drm_files: list[DrmFile],
+    app_logs: list[AppLogFile],
+    tolerance_s: float = DEFAULT_TOLERANCE_S,
+) -> list[MatchedPair]:
+    """Match every app log to exactly one DRM file.
+
+    Raises
+    ------
+    SyncError
+        If an app log has no DRM candidate within tolerance, or if two app
+        logs claim the same DRM file.
+    """
+    pairs: list[MatchedPair] = []
+    claimed: set[int] = set()
+    for app_log in sorted(app_logs, key=lambda l: l.start_utc):
+        candidates = [
+            d
+            for d in drm_files
+            if d.operator is app_log.operator and d.test_label == app_log.test_label
+        ]
+        best_pair: MatchedPair | None = None
+        for drm in candidates:
+            if id(drm) in claimed:
+                continue
+            hypothesis = _best_offset(drm, app_log)
+            if hypothesis is None:
+                continue
+            tz, residual = hypothesis
+            if residual > tolerance_s:
+                continue
+            if best_pair is None or residual < best_pair.residual_s:
+                best_pair = MatchedPair(
+                    app_log=app_log, drm=drm, inferred_timezone=tz, residual_s=residual
+                )
+        if best_pair is None:
+            raise SyncError(
+                f"no DRM match for {app_log.filename} "
+                f"({app_log.operator}, {app_log.test_label})"
+            )
+        claimed.add(id(best_pair.drm))
+        pairs.append(best_pair)
+    return pairs

@@ -1,0 +1,124 @@
+"""Application-layer log files with their inconsistent timestamp formats.
+
+§B: *"Some applications logged timestamps in UTC and others in local
+time."*  We reproduce both conventions: throughput/RTT tools log UTC epoch
+seconds; the app suite logs local wall-clock time — and the matcher in
+:mod:`repro.sync` has to cope with both, across timezone crossings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+
+from repro.errors import LogFormatError
+from repro.radio.operators import Operator
+
+__all__ = ["TimestampConvention", "AppLogFile"]
+
+_OP_BY_CODE = {op.code: op for op in Operator}
+
+
+class TimestampConvention(enum.Enum):
+    """How an app-layer tool stamps its log lines."""
+
+    UTC_EPOCH = "utc_epoch"
+    LOCAL_WALL = "local_wall"
+
+
+@dataclass
+class AppLogFile:
+    """One app-layer test log.
+
+    ``start_utc`` is ground truth used by the exporter; the serialised form
+    only carries timestamps in the file's declared convention, which is what
+    makes matching non-trivial.
+    """
+
+    operator: Operator
+    test_label: str
+    start_utc: datetime
+    convention: TimestampConvention
+    #: Local-time offset (hours from UTC) where the test ran — needed to
+    #: interpret LOCAL_WALL stamps; real logs leave this implicit, and the
+    #: matcher has to recover it from the route.
+    utc_offset_hours: int
+    #: (seconds since test start, metric value) samples.
+    samples: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def filename(self) -> str:
+        stamp = int(self.start_utc.replace(tzinfo=timezone.utc).timestamp())
+        return f"{self.test_label}_{self.operator.code}_{stamp}.log"
+
+    def serialize(self) -> str:
+        """Render the log body in the file's timestamp convention."""
+        lines = [f"# applog test={self.test_label} operator={self.operator.code} fmt={self.convention.value}"]
+        base_utc = self.start_utc.replace(tzinfo=timezone.utc)
+        for offset_s, value in self.samples:
+            if self.convention is TimestampConvention.UTC_EPOCH:
+                stamp = f"{base_utc.timestamp() + offset_s:.3f}"
+            else:
+                local = base_utc + timedelta(hours=self.utc_offset_hours, seconds=offset_s)
+                stamp = local.strftime("%Y-%m-%d %H:%M:%S.%f")[:-3]
+            lines.append(f"{stamp}|{value:.4f}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(cls, filename: str, body: str, utc_offset_hours: int) -> "AppLogFile":
+        """Parse a log; LOCAL_WALL stamps are interpreted with the supplied
+        offset (the matcher recovers it from the route position).
+
+        Raises
+        ------
+        LogFormatError
+            On malformed filenames, headers or sample lines.
+        """
+        stem = filename[:-4] if filename.endswith(".log") else filename
+        parts = stem.rsplit("_", 2)
+        if len(parts) != 3 or parts[1] not in _OP_BY_CODE:
+            raise LogFormatError(f"malformed app log filename: {filename!r}")
+        test_label, op_code, stamp = parts
+        try:
+            start_utc = datetime.utcfromtimestamp(int(stamp))
+        except (ValueError, OverflowError) as exc:
+            raise LogFormatError(f"bad epoch in filename: {filename!r}") from exc
+
+        lines = body.splitlines()
+        if not lines or not lines[0].startswith("# applog"):
+            raise LogFormatError("missing app log header")
+        header = dict(
+            kv.split("=", 1) for kv in lines[0][2:].split() if "=" in kv
+        )
+        try:
+            convention = TimestampConvention(header["fmt"])
+        except (KeyError, ValueError) as exc:
+            raise LogFormatError("bad or missing fmt in app log header") from exc
+
+        log = cls(
+            operator=_OP_BY_CODE[op_code],
+            test_label=test_label,
+            start_utc=start_utc,
+            convention=convention,
+            utc_offset_hours=utc_offset_hours,
+        )
+        base_epoch = start_utc.replace(tzinfo=timezone.utc).timestamp()
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                stamp_field, value_field = line.split("|")
+                if convention is TimestampConvention.UTC_EPOCH:
+                    offset = float(stamp_field) - base_epoch
+                else:
+                    local = datetime.strptime(stamp_field, "%Y-%m-%d %H:%M:%S.%f")
+                    utc = local - timedelta(hours=utc_offset_hours)
+                    offset = (
+                        utc.replace(tzinfo=timezone.utc).timestamp() - base_epoch
+                    )
+                log.samples.append((offset, float(value_field)))
+            except ValueError as exc:
+                raise LogFormatError(f"malformed app log line: {line!r}") from exc
+        return log

@@ -1,0 +1,98 @@
+"""DRM log files — XCAL's on-disk container, timestamp quirks included.
+
+The paper (§B): *"XCAL saved the log files (.drm files) with local
+timestamps in the filenames, whereas their contents had timestamps in EDT.
+This made it difficult to match a corresponding app layer log file with its
+XCAL counterpart."*  We reproduce exactly that: :meth:`DrmFile.filename`
+uses the capture location's local time, while every contained record is EDT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.errors import LogFormatError
+from repro.radio.operators import Operator
+from repro.xcal.records import SignalingRecord, XcalKpiRecord
+
+__all__ = ["DrmFile"]
+
+_OP_BY_CODE = {op.code: op for op in Operator}
+
+
+@dataclass
+class DrmFile:
+    """One XCAL capture: a test's KPI rows plus signalling events.
+
+    Parameters
+    ----------
+    start_local:
+        Test start in the *local* timezone of where the vehicle was — this
+        is what the filename carries.
+    test_label:
+        The test type tag embedded in the filename (e.g. ``dl_tput``).
+    """
+
+    operator: Operator
+    test_label: str
+    start_local: datetime
+    kpi_records: list[XcalKpiRecord] = field(default_factory=list)
+    signaling_records: list[SignalingRecord] = field(default_factory=list)
+
+    @property
+    def filename(self) -> str:
+        """Local-timestamp filename, as XCAL writes it."""
+        stamp = self.start_local.strftime("%Y%m%d_%H%M%S")
+        return f"{stamp}_{self.test_label}_{self.operator.code}.drm"
+
+    def serialize(self) -> str:
+        """Render the file body (header + interleaved records)."""
+        lines = [f"# XCAL DRM capture operator={self.operator.code} test={self.test_label}"]
+        records: list[tuple[datetime, str]] = [
+            (r.timestamp_edt, r.to_line()) for r in self.kpi_records
+        ]
+        records += [(r.timestamp_edt, r.to_line()) for r in self.signaling_records]
+        records.sort(key=lambda pair: pair[0])
+        lines.extend(line for _, line in records)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(cls, filename: str, body: str) -> "DrmFile":
+        """Parse a DRM file back from its filename and body.
+
+        Raises
+        ------
+        LogFormatError
+            On a malformed filename, header, or record line.
+        """
+        stem = filename[:-4] if filename.endswith(".drm") else filename
+        parts = stem.split("_")
+        if len(parts) < 4:
+            raise LogFormatError(f"malformed DRM filename: {filename!r}")
+        op_code = parts[-1]
+        if op_code not in _OP_BY_CODE:
+            raise LogFormatError(f"unknown operator code in filename: {filename!r}")
+        test_label = "_".join(parts[2:-1])
+        try:
+            start_local = datetime.strptime("_".join(parts[:2]), "%Y%m%d_%H%M%S")
+        except ValueError as exc:
+            raise LogFormatError(f"bad timestamp in filename: {filename!r}") from exc
+
+        drm = cls(
+            operator=_OP_BY_CODE[op_code],
+            test_label=test_label,
+            start_local=start_local,
+        )
+        for line in body.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            kind = line.split("|")[1] if "|" in line else ""
+            if kind == "KPI":
+                drm.kpi_records.append(XcalKpiRecord.from_line(line))
+            elif kind == "SIG":
+                drm.signaling_records.append(SignalingRecord.from_line(line))
+            else:
+                raise LogFormatError(f"unknown DRM record: {line!r}")
+        return drm

@@ -1,0 +1,174 @@
+"""Export a :class:`DriveDataset` into the paper's raw log formats.
+
+This regenerates the *inputs* the authors' synchronisation software had to
+cope with: per-test DRM files (local-time filenames, EDT contents) and
+app-layer logs (UTC epoch for the throughput tool, local wall-clock for the
+RTT tool).  :mod:`repro.sync` then re-ingests them, and the integration tests
+assert the round trip is lossless.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.campaign.dataset import DriveDataset, TestRecord
+from repro.campaign.tests import TestType
+from repro.geo.route import Route
+from repro.geo.timezones import XCAL_INTERNAL_TZ, timezone_for_longitude
+from repro.geo.trip import TripTimeline
+from repro.xcal.applog import AppLogFile, TimestampConvention
+from repro.xcal.drm import DrmFile
+from repro.xcal.records import SignalingRecord, XcalKpiRecord
+
+__all__ = ["TRIP_START_UTC", "export_logs"]
+
+#: The drive began 08/08/2022 at 08:00 Pacific = 15:00 UTC.
+TRIP_START_UTC = datetime(2022, 8, 8, 15, 0, 0)
+
+#: App-layer timestamp convention per test tool (§B: "some applications
+#: logged timestamps in UTC and others in local time").
+_APP_CONVENTION: dict[TestType, TimestampConvention] = {
+    TestType.DOWNLINK_THROUGHPUT: TimestampConvention.UTC_EPOCH,
+    TestType.UPLINK_THROUGHPUT: TimestampConvention.UTC_EPOCH,
+    TestType.RTT: TimestampConvention.LOCAL_WALL,
+}
+
+
+def _utc_at(time_s: float, timeline: TripTimeline | None = None) -> datetime:
+    if timeline is not None:
+        return timeline.wall_clock_utc(time_s)
+    return TRIP_START_UTC + timedelta(seconds=time_s)
+
+
+def _edt_at(time_s: float, timeline: TripTimeline | None = None) -> datetime:
+    return _utc_at(time_s, timeline) + XCAL_INTERNAL_TZ.utc_offset
+
+
+def export_logs(
+    dataset: DriveDataset,
+    route: Route,
+    test_types: tuple[TestType, ...] = (
+        TestType.DOWNLINK_THROUGHPUT,
+        TestType.UPLINK_THROUGHPUT,
+        TestType.RTT,
+    ),
+    max_tests: int | None = None,
+    timeline: TripTimeline | None = None,
+) -> tuple[list[DrmFile], list[AppLogFile]]:
+    """Render DRM + app-layer log files for the dataset's tests.
+
+    Parameters
+    ----------
+    max_tests:
+        Optional cap on the number of tests exported (keeps integration
+        tests fast); ``None`` exports everything.
+    timeline:
+        Optional trip timeline; when given, campaign time maps onto the
+        paper's 8-day wall-clock schedule (overnight stops included), so
+        exported filenames span multiple calendar days as the real logs
+        did.
+    """
+    tests = [t for t in dataset.tests if t.test_type in test_types and not t.static]
+    tests.sort(key=lambda t: (t.start_time_s, t.operator.code))
+    if max_tests is not None:
+        tests = tests[:max_tests]
+
+    tput_by_test = dataset.samples_by_test()
+    rtt_by_test: dict[int, list] = {}
+    for s in dataset.rtt_samples:
+        rtt_by_test.setdefault(s.test_id, []).append(s)
+    ho_by_test: dict[int, list] = {}
+    for h in dataset.handovers:
+        ho_by_test.setdefault(h.test_id, []).append(h)
+
+    drm_files: list[DrmFile] = []
+    app_logs: list[AppLogFile] = []
+    for test in tests:
+        drm_files.append(
+            _build_drm(test, route, tput_by_test, rtt_by_test, ho_by_test, timeline)
+        )
+        app_logs.append(_build_applog(test, route, tput_by_test, rtt_by_test, timeline))
+    return drm_files, app_logs
+
+
+def _local_offset_hours(test: TestRecord, route: Route) -> int:
+    position = route.position_at(min(test.start_mark_m, route.total_length_m))
+    return timezone_for_longitude(position.point.lon).utc_offset_hours
+
+
+def _build_drm(
+    test: TestRecord,
+    route: Route,
+    tput_by_test: dict[int, list],
+    rtt_by_test: dict[int, list],
+    ho_by_test: dict[int, list],
+    timeline: TripTimeline | None = None,
+) -> DrmFile:
+    offset_h = _local_offset_hours(test, route)
+    start_local = _utc_at(test.start_time_s, timeline) + timedelta(hours=offset_h)
+    drm = DrmFile(
+        operator=test.operator,
+        test_label=test.test_type.value,
+        start_local=start_local,
+    )
+    if test.test_type is TestType.RTT:
+        samples = rtt_by_test.get(test.test_id, [])
+        for s in samples:
+            drm.kpi_records.append(
+                XcalKpiRecord(
+                    timestamp_edt=_edt_at(s.time_s, timeline),
+                    technology=s.tech,
+                    rsrp_dbm=-99.0,  # the RTT tool logs no PHY KPIs
+                    mcs=0,
+                    bler=0.0,
+                    n_ccs=1,
+                    tput_mbps=0.0,
+                )
+            )
+    else:
+        for s in tput_by_test.get(test.test_id, []):
+            drm.kpi_records.append(
+                XcalKpiRecord(
+                    timestamp_edt=_edt_at(s.time_s, timeline),
+                    technology=s.tech,
+                    rsrp_dbm=s.rsrp_dbm,
+                    mcs=s.mcs,
+                    bler=s.bler,
+                    n_ccs=s.n_ccs,
+                    tput_mbps=s.tput_mbps,
+                )
+            )
+    for h in ho_by_test.get(test.test_id, []):
+        start = _edt_at(h.event.time_s, timeline)
+        end = start + timedelta(milliseconds=h.event.duration_ms)
+        drm.signaling_records.append(
+            SignalingRecord(start, "HO_START", str(h.event.from_cell), str(h.event.to_cell))
+        )
+        drm.signaling_records.append(
+            SignalingRecord(end, "HO_END", str(h.event.from_cell), str(h.event.to_cell))
+        )
+    return drm
+
+
+def _build_applog(
+    test: TestRecord,
+    route: Route,
+    tput_by_test: dict[int, list],
+    rtt_by_test: dict[int, list],
+    timeline: TripTimeline | None = None,
+) -> AppLogFile:
+    convention = _APP_CONVENTION[test.test_type]
+    log = AppLogFile(
+        operator=test.operator,
+        test_label=test.test_type.value,
+        start_utc=_utc_at(test.start_time_s, timeline),
+        convention=convention,
+        utc_offset_hours=_local_offset_hours(test, route),
+    )
+    if test.test_type is TestType.RTT:
+        for s in rtt_by_test.get(test.test_id, []):
+            log.samples.append((s.time_s - test.start_time_s, s.rtt_ms))
+    else:
+        for s in tput_by_test.get(test.test_id, []):
+            log.samples.append((s.time_s - test.start_time_s, s.tput_mbps))
+    return log

@@ -1,0 +1,104 @@
+"""Typed records inside an XCAL DRM log file."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.errors import LogFormatError
+from repro.radio.technology import RadioTechnology
+
+__all__ = ["XcalKpiRecord", "SignalingRecord"]
+
+_TECH_BY_LABEL = {t.label: t for t in RadioTechnology}
+
+
+@dataclass(frozen=True, slots=True)
+class XcalKpiRecord:
+    """One 500 ms KPI row as XCAL logs it (timestamps in EDT, §B)."""
+
+    timestamp_edt: datetime
+    technology: RadioTechnology
+    rsrp_dbm: float
+    mcs: int
+    bler: float
+    n_ccs: int
+    tput_mbps: float
+
+    def to_line(self) -> str:
+        """Serialise to the DRM line format."""
+        ts = self.timestamp_edt.strftime("%Y-%m-%d %H:%M:%S.%f")[:-3]
+        return (
+            f"{ts} EDT|KPI|tech={self.technology.label}|rsrp={self.rsrp_dbm:.1f}"
+            f"|mcs={self.mcs}|bler={self.bler:.4f}|ca={self.n_ccs}"
+            f"|tput={self.tput_mbps:.3f}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "XcalKpiRecord":
+        """Parse a DRM KPI line.
+
+        Raises
+        ------
+        LogFormatError
+            If the line is not a well-formed KPI record.
+        """
+        parts = line.strip().split("|")
+        if len(parts) != 8 or parts[1] != "KPI":
+            raise LogFormatError(f"not a KPI line: {line!r}")
+        ts_field = parts[0]
+        if not ts_field.endswith(" EDT"):
+            raise LogFormatError(f"KPI timestamp must be EDT: {ts_field!r}")
+        try:
+            ts = datetime.strptime(ts_field[:-4], "%Y-%m-%d %H:%M:%S.%f")
+            fields = dict(p.split("=", 1) for p in parts[2:])
+            return cls(
+                timestamp_edt=ts,
+                technology=_TECH_BY_LABEL[fields["tech"]],
+                rsrp_dbm=float(fields["rsrp"]),
+                mcs=int(fields["mcs"]),
+                bler=float(fields["bler"]),
+                n_ccs=int(fields["ca"]),
+                tput_mbps=float(fields["tput"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise LogFormatError(f"malformed KPI line: {line!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class SignalingRecord:
+    """A control-plane signalling event (handover execution)."""
+
+    timestamp_edt: datetime
+    event: str  # "HO_START" / "HO_END"
+    from_cell: str
+    to_cell: str
+
+    _EVENTS = ("HO_START", "HO_END")
+
+    def to_line(self) -> str:
+        ts = self.timestamp_edt.strftime("%Y-%m-%d %H:%M:%S.%f")[:-3]
+        return f"{ts} EDT|SIG|event={self.event}|from={self.from_cell}|to={self.to_cell}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "SignalingRecord":
+        parts = line.strip().split("|")
+        if len(parts) != 5 or parts[1] != "SIG":
+            raise LogFormatError(f"not a signalling line: {line!r}")
+        ts_field = parts[0]
+        if not ts_field.endswith(" EDT"):
+            raise LogFormatError(f"signalling timestamp must be EDT: {ts_field!r}")
+        try:
+            ts = datetime.strptime(ts_field[:-4], "%Y-%m-%d %H:%M:%S.%f")
+            fields = dict(p.split("=", 1) for p in parts[2:])
+            event = fields["event"]
+            if event not in cls._EVENTS:
+                raise LogFormatError(f"unknown signalling event {event!r}")
+            return cls(
+                timestamp_edt=ts,
+                event=event,
+                from_cell=fields["from"],
+                to_cell=fields["to"],
+            )
+        except (KeyError, ValueError) as exc:
+            raise LogFormatError(f"malformed signalling line: {line!r}") from exc

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+The expensive fixtures are session-scoped: one small-but-complete campaign
+dataset (apps + static baselines included) shared by all analysis tests, and
+one bare-bones dataset for tests that only need throughput/RTT records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign.runner import CampaignConfig, DriveCampaign
+from repro.geo.route import build_cross_country_route
+
+
+@pytest.fixture(scope="session")
+def route():
+    return build_cross_country_route()
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """A small but complete campaign (apps + static), shared read-only."""
+    c = DriveCampaign(CampaignConfig(seed=42, scale=0.035))
+    c.run()
+    c.finalize_connected_cells()
+    return c
+
+
+@pytest.fixture(scope="session")
+def dataset(campaign):
+    return campaign._dataset
+
+
+@pytest.fixture(scope="session")
+def bare_dataset():
+    """Throughput/RTT-only dataset (no apps, no static) for faster tests."""
+    c = DriveCampaign(
+        CampaignConfig(seed=7, scale=0.008, include_apps=False, include_static=False)
+    )
+    ds = c.run()
+    c.finalize_connected_cells()
+    return ds
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,132 @@
+"""§7 application QoE analyses (Figs. 13-16, 18-22)."""
+
+import math
+
+import pytest
+
+from repro.analysis import apps
+from repro.analysis.apps import metric_handover_correlation
+from repro.campaign.tests import TestType
+from repro.errors import AnalysisError
+from repro.radio.operators import Operator
+
+
+class TestOffloadReports:
+    @pytest.mark.parametrize("op", list(Operator))
+    def test_ar_report_builds_for_all_operators(self, dataset, op):
+        report = apps.offload_app_report(dataset, op, TestType.AR)
+        assert True in report.e2e_cdf or False in report.e2e_cdf
+
+    def test_driving_e2e_exceeds_best_static(self, dataset):
+        """Fig. 13a: driving E2E ≫ best static (paper: ~3× at the median)."""
+        report = apps.offload_app_report(dataset, Operator.VERIZON, TestType.AR)
+        if True in report.e2e_cdf and True in report.best_static_e2e_ms:
+            assert report.e2e_cdf[True].median > report.best_static_e2e_ms[True]
+
+    def test_compression_reduces_ar_e2e(self, dataset):
+        report = apps.offload_app_report(dataset, Operator.VERIZON, TestType.AR)
+        if True in report.e2e_cdf and False in report.e2e_cdf:
+            assert report.e2e_cdf[True].median < report.e2e_cdf[False].median
+
+    def test_cav_misses_100ms_budget(self, dataset):
+        """Fig. 14a: the CAV app never achieves 100 ms E2E while driving."""
+        for op in Operator:
+            report = apps.offload_app_report(dataset, op, TestType.CAV)
+            for cdf in report.e2e_cdf.values():
+                assert cdf.minimum > 100.0
+
+    def test_handover_correlation_weak(self, dataset):
+        """§7: no strong correlation between handovers and app QoE."""
+        report = apps.offload_app_report(dataset, Operator.VERIZON, TestType.AR)
+        assert abs(report.handover_correlation) < 0.6
+
+    def test_hs5g_scatter_fractions_valid(self, dataset):
+        report = apps.offload_app_report(dataset, Operator.TMOBILE, TestType.CAV)
+        for frac, metric, _kind in report.metric_vs_hs5g:
+            assert 0.0 <= frac <= 1.0
+            assert metric > 0.0
+
+    def test_ar_map_capped_by_table5(self, dataset):
+        report = apps.offload_app_report(dataset, Operator.ATT, TestType.AR)
+        for frac, map_score, _ in report.metric_vs_hs5g:
+            assert 0.0 <= map_score <= 38.45
+
+    def test_rejects_non_offload_app(self, dataset):
+        with pytest.raises(AnalysisError):
+            apps.offload_app_report(dataset, Operator.VERIZON, TestType.VIDEO_360)
+
+
+class TestVideoReports:
+    def test_report_builds(self, dataset):
+        report = apps.video_app_report(dataset, Operator.VERIZON)
+        assert report.qoe_cdf.n > 0
+
+    def test_static_qoe_near_best(self, dataset):
+        """Fig. 15a: the best static QoE approaches the theoretical 100."""
+        report = apps.video_app_report(dataset, Operator.VERIZON)
+        if report.best_static_qoe is not None:
+            assert report.best_static_qoe > 70.0
+
+    def test_driving_qoe_below_static(self, dataset):
+        report = apps.video_app_report(dataset, Operator.VERIZON)
+        if report.best_static_qoe is not None:
+            assert report.qoe_cdf.median < report.best_static_qoe
+
+    def test_some_negative_qoe_runs(self, dataset):
+        """Fig. 15a: a sizeable share of driving runs have negative QoE."""
+        fractions = [
+            apps.video_app_report(dataset, op).negative_qoe_fraction for op in Operator
+        ]
+        assert max(fractions) > 0.1
+
+    def test_rebuffer_ratios_bounded(self, dataset):
+        report = apps.video_app_report(dataset, Operator.ATT)
+        assert 0.0 <= report.rebuffer_cdf.minimum
+        assert report.rebuffer_cdf.maximum <= 1.0
+
+    def test_handover_correlation_weak(self, dataset):
+        for op in Operator:
+            report = apps.video_app_report(dataset, op)
+            if report.qoe_cdf.n >= 15:
+                assert abs(report.handover_correlation) < 0.7
+
+
+class TestGamingReports:
+    def test_report_builds(self, dataset):
+        report = apps.gaming_app_report(dataset, Operator.VERIZON)
+        assert report.bitrate_cdf.n > 0
+
+    def test_static_bitrate_near_cap(self, dataset):
+        """Fig. 16a: best static ≈98.5 Mbps (adapter cap 100)."""
+        report = apps.gaming_app_report(dataset, Operator.VERIZON)
+        if report.best_static_bitrate is not None:
+            assert report.best_static_bitrate > 80.0
+
+    def test_driving_bitrate_below_static(self, dataset):
+        report = apps.gaming_app_report(dataset, Operator.VERIZON)
+        if report.best_static_bitrate is not None:
+            assert report.bitrate_cdf.median < report.best_static_bitrate * 0.7
+
+    def test_drop_rates_low_overall(self, dataset):
+        """§7.3: the adapter keeps frame drops low (median ≈1.6%)."""
+        report = apps.gaming_app_report(dataset, Operator.VERIZON)
+        assert report.drop_rate_cdf.median < 10.0
+
+    def test_latency_fractions(self, dataset):
+        report = apps.gaming_app_report(dataset, Operator.TMOBILE)
+        assert 0.0 <= report.high_latency_run_fraction <= 1.0
+
+
+class TestCorrelationHelper:
+    def test_degenerate_cases(self):
+        assert metric_handover_correlation([]) == 0.0
+        assert metric_handover_correlation([(1.0, 2.0)]) == 0.0
+        assert metric_handover_correlation([(1.0, 5.0), (1.0, 6.0), (1.0, 7.0)]) == 0.0
+
+    def test_perfect_correlation(self):
+        pairs = [(float(i), float(2 * i)) for i in range(10)]
+        assert metric_handover_correlation(pairs) == pytest.approx(1.0)
+
+    def test_nan_filtered(self):
+        pairs = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, math.nan)]
+        assert metric_handover_correlation(pairs) == pytest.approx(1.0)

@@ -1,0 +1,70 @@
+"""Empirical CDF machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCDF, summarize
+from repro.errors import AnalysisError
+
+
+class TestEmpiricalCDF:
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            EmpiricalCDF.from_values([])
+
+    def test_non_finite_dropped(self):
+        cdf = EmpiricalCDF.from_values([1.0, float("inf"), float("nan"), 2.0])
+        assert cdf.n == 2
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCDF.from_values([1, 2, 3])
+        with pytest.raises(AnalysisError):
+            cdf.quantile(1.5)
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF.from_values(range(1, 101))
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 100.0
+        assert cdf.median == pytest.approx(50.5)
+
+    def test_prob_below_and_above(self):
+        cdf = EmpiricalCDF.from_values([1.0, 2.0, 3.0, 4.0])
+        assert cdf.prob_below(2.5) == 0.5
+        assert cdf.prob_above(2.5) == 0.5
+        assert cdf.prob_below(0.0) == 0.0
+        assert cdf.prob_above(10.0) == 0.0
+
+    def test_prob_below_tie_handling(self):
+        cdf = EmpiricalCDF.from_values([1.0, 2.0, 2.0, 3.0])
+        assert cdf.prob_below(2.0) == 0.25  # strict
+        assert cdf.prob_above(2.0) == 0.25  # strict
+
+    def test_series_monotone(self):
+        values = np.random.default_rng(0).exponential(10.0, size=1000)
+        xs, ys = EmpiricalCDF.from_values(values).series(points=50)
+        assert len(xs) == 50
+        assert all(b >= a for a, b in zip(xs, xs[1:]))
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_series_small_sample_full(self):
+        xs, ys = EmpiricalCDF.from_values([3.0, 1.0, 2.0]).series(points=100)
+        assert list(xs) == [1.0, 2.0, 3.0]
+
+    def test_min_max_mean(self):
+        cdf = EmpiricalCDF.from_values([4.0, 1.0, 7.0])
+        assert cdf.minimum == 1.0
+        assert cdf.maximum == 7.0
+        assert cdf.mean == pytest.approx(4.0)
+
+
+class TestSummarize:
+    def test_keys(self):
+        s = summarize([1, 2, 3, 4, 5])
+        for key in ("n", "min", "max", "mean", "p25", "p50", "p75", "p90"):
+            assert key in s
+
+    def test_values(self):
+        s = summarize(range(101))
+        assert s["p50"] == 50.0
+        assert s["n"] == 101.0

@@ -1,0 +1,69 @@
+"""§6 handover analyses (Figs. 11-12)."""
+
+import pytest
+
+from repro.analysis import handovers
+from repro.mobility.events import HandoverType
+from repro.radio.operators import Operator
+
+
+class TestFig11:
+    def test_rate_medians_low(self, dataset):
+        """Fig. 11a: median 1-3 handovers per mile."""
+        for op in Operator:
+            cdf = handovers.handovers_per_mile(dataset, op, "downlink")
+            assert 0.0 <= cdf.median <= 6.0
+
+    def test_rate_extremes_exist(self, dataset):
+        """Fig. 11a: extreme tests can exceed 10-20 HOs/mile."""
+        maxima = [
+            handovers.handovers_per_mile(dataset, op, "downlink").maximum
+            for op in Operator
+        ]
+        assert max(maxima) > 8.0
+
+    def test_duration_medians_match_paper(self, dataset):
+        """Fig. 11b: median durations 53/76/58 ms (DL) for V/T/A."""
+        targets = {Operator.VERIZON: 53.0, Operator.TMOBILE: 76.0, Operator.ATT: 58.0}
+        for op, target in targets.items():
+            cdf = handovers.handover_durations(dataset, op, "downlink")
+            assert target * 0.6 < cdf.median < target * 1.8
+
+    def test_tmobile_slowest_handovers(self, dataset):
+        meds = {
+            op: handovers.handover_durations(dataset, op).median for op in Operator
+        }
+        assert meds[Operator.TMOBILE] > meds[Operator.VERIZON]
+        assert meds[Operator.TMOBILE] > meds[Operator.ATT]
+
+    def test_durations_positive_and_bounded(self, dataset):
+        for op in Operator:
+            cdf = handovers.handover_durations(dataset, op)
+            assert cdf.minimum > 0.0
+            assert cdf.maximum < 3000.0
+
+
+class TestFig12:
+    def test_throughput_drops_during_handover(self, dataset):
+        """Fig. 12: ΔT1 < 0 about 80% of the time."""
+        impact = handovers.handover_impact(dataset, Operator.VERIZON, "downlink")
+        assert impact.drop_fraction > 0.5
+
+    def test_post_handover_often_improves(self, dataset):
+        """Fig. 12: ΔT2 > 0 about 55-60% of the time."""
+        for op in Operator:
+            impact = handovers.handover_impact(dataset, op, "downlink")
+            assert 0.3 < impact.improvement_fraction < 0.85
+
+    def test_delta2_median_small(self, dataset):
+        """Fig. 12: the median ΔT2 is close to zero (0.5-2 Mbps)."""
+        impact = handovers.handover_impact(dataset, Operator.VERIZON, "downlink")
+        assert abs(impact.delta_t2.median) < 15.0
+
+    def test_by_type_split_present(self, dataset):
+        impact = handovers.handover_impact(dataset, Operator.TMOBILE, "downlink")
+        assert impact.delta_t2_by_type  # at least one populated type
+
+    def test_uplink_impact_also_computable(self, dataset):
+        impact = handovers.handover_impact(dataset, Operator.ATT, "uplink")
+        assert impact.delta_t1.n > 5

@@ -1,0 +1,86 @@
+"""§5.6 longer-timescale analyses (Figs. 9-10, Table 3)."""
+
+import pytest
+
+from repro.analysis import longterm, ookla
+from repro.analysis.ookla import OOKLA_Q3_2022, PAPER_DRIVE_MEDIANS
+from repro.radio.operators import Operator
+
+
+class TestFig9:
+    def test_per_test_medians_in_paper_band(self, dataset):
+        """Fig. 9: per-test DL medians ≈30-48 Mbps, UL ≈10-14 Mbps."""
+        for op in Operator:
+            dl = longterm.per_test_throughput_stats(dataset, op, "downlink")
+            ul = longterm.per_test_throughput_stats(dataset, op, "uplink")
+            assert 5.0 < dl.median_mean < 120.0
+            assert 2.0 < ul.median_mean < 40.0
+
+    def test_within_test_fluctuation_large(self, dataset):
+        """Fig. 9 bottom: throughput stddev ≈44-70% of the mean."""
+        for op in Operator:
+            dl = longterm.per_test_throughput_stats(dataset, op, "downlink")
+            assert dl.median_stddev_pct > 20.0
+
+    def test_rtt_fluctuation_smaller_than_throughput(self, dataset):
+        """Fig. 9: RTT stddev-% (18-29%) is below throughput's (44-70%)."""
+        for op in Operator:
+            tput = longterm.per_test_throughput_stats(dataset, op, "downlink")
+            rtt = longterm.per_test_rtt_stats(dataset, op)
+            assert rtt.median_stddev_pct < tput.median_stddev_pct
+
+    def test_per_test_mean_exceeds_sample_median(self, dataset):
+        """§5.6: test means sit above the 500 ms sample median (long tail)."""
+        import numpy as np
+
+        for op in Operator:
+            sample_median = float(
+                np.median(dataset.tput_values(operator=op, direction="downlink", static=False))
+            )
+            test_median = longterm.per_test_throughput_stats(dataset, op, "downlink").median_mean
+            assert test_median > sample_median * 0.9
+
+
+class TestFig10:
+    def test_points_have_valid_fractions(self, dataset):
+        for op in Operator:
+            for frac, _tput in longterm.throughput_vs_hs5g_fraction(dataset, op, "downlink"):
+                assert 0.0 <= frac <= 1.0
+
+    def test_rtt_points_exist(self, dataset):
+        points = longterm.rtt_vs_hs5g_fraction(dataset, Operator.VERIZON)
+        assert points
+
+    def test_tmobile_midband_lifts_downlink(self, dataset):
+        """Fig. 10a: only T-Mobile's midband brings a clear DL boost."""
+        import numpy as np
+
+        points = longterm.throughput_vs_hs5g_fraction(dataset, Operator.TMOBILE, "downlink")
+        high = [t for f, t in points if f > 0.6]
+        low = [t for f, t in points if f < 0.2]
+        if len(high) < 8 or len(low) < 8:
+            pytest.skip("too few tests per group at this campaign scale")
+        assert np.mean(high) > np.mean(low) * 0.8
+
+
+class TestTable3:
+    def test_reference_constants_verbatim(self):
+        assert OOKLA_Q3_2022[Operator.TMOBILE].downlink_mbps == 116.14
+        assert OOKLA_Q3_2022[Operator.VERIZON].rtt_ms == 59.0
+        assert PAPER_DRIVE_MEDIANS[Operator.ATT].downlink_mbps == 48.40
+
+    def test_rows_for_all_operators(self, dataset):
+        rows = ookla.ookla_comparison(dataset)
+        assert [r.operator for r in rows] == list(Operator)
+
+    def test_driving_dl_below_ookla_static(self, dataset):
+        """Table 3's headline: driving DL medians are well below Ookla's
+        static medians."""
+        for row in ookla.ookla_comparison(dataset):
+            assert row.downlink_deficit < 1.0
+
+    def test_values_positive(self, dataset):
+        for row in ookla.ookla_comparison(dataset):
+            assert row.our_downlink_mbps > 0
+            assert row.our_uplink_mbps > 0
+            assert row.our_rtt_ms > 0

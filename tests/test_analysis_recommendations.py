@@ -1,0 +1,51 @@
+"""§8 recommendations quantified."""
+
+import pytest
+
+from repro.analysis.recommendations import quantify_recommendations
+from repro.campaign.tests import TestType
+
+
+@pytest.fixture(scope="module")
+def report(dataset):
+    return quantify_recommendations(dataset)
+
+
+class TestCompressionGains:
+    def test_both_apps_covered(self, report):
+        apps = {g.app for g in report.compression}
+        assert TestType.AR in apps
+        assert TestType.CAV in apps
+
+    def test_compression_always_helps(self, report):
+        for gain in report.compression:
+            assert gain.speedup > 1.0
+
+    def test_cav_benefits_most(self, report):
+        """§7.1.2: the CAV app's 2 MB raw frames gain the most (~8x)."""
+        by_app = {g.app: g.speedup for g in report.compression}
+        assert by_app[TestType.CAV] > by_app[TestType.AR]
+
+
+class TestMultipathGains:
+    def test_both_directions(self, report):
+        assert {g.direction for g in report.multipath} == {"downlink", "uplink"}
+
+    def test_aggregate_beats_best_single(self, report):
+        for gain in report.multipath:
+            assert gain.median_gain > 1.0
+
+    def test_outage_collapse(self, report):
+        for gain in report.multipath:
+            assert gain.aggregate_outage_fraction <= gain.single_outage_fraction
+
+
+class TestEdgeGains:
+    def test_edge_cuts_rtt(self, report):
+        assert report.edge.rtt_median_edge_ms < report.edge.rtt_median_cloud_ms
+        assert 0.0 < report.edge.rtt_reduction < 1.0
+
+    def test_video_qoe_direction(self, report):
+        if report.edge.video_qoe_edge is not None and report.edge.video_qoe_cloud is not None:
+            # Edge QoE at least comparable (usually better).
+            assert report.edge.video_qoe_edge > report.edge.video_qoe_cloud - 40.0

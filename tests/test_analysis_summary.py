@@ -1,0 +1,53 @@
+"""One-call paper summary."""
+
+import pytest
+
+from repro.analysis.summary import summarize_paper
+from repro.radio.operators import Operator
+
+
+@pytest.fixture(scope="module")
+def summary(dataset):
+    return summarize_paper(dataset)
+
+
+class TestSummary:
+    def test_all_operators_present(self, summary):
+        assert set(summary.operators) == set(Operator)
+
+    def test_headline_fields_sane(self, summary):
+        for h in summary.operators.values():
+            assert 0.0 <= h.coverage_5g <= 1.0
+            assert 0.0 <= h.coverage_high_speed_5g <= h.coverage_5g
+            assert h.static_dl_median_mbps > h.driving_dl_median_mbps
+            assert 0.0 <= h.driving_dl_below_5mbps <= 1.0
+            assert h.driving_rtt_median_ms > 0.0
+            assert h.handover_duration_median_ms > 0.0
+            assert 0.0 <= h.max_abs_kpi_correlation <= 1.0
+
+    def test_fragmented_coverage_finding(self, summary):
+        """Abstract finding 1: low, fragmented 5G coverage."""
+        assert summary.fragmented_coverage
+
+    def test_driving_collapse_finding(self, summary):
+        """Abstract finding 2: driving performance collapses vs static."""
+        assert summary.driving_collapse_factor > 10.0
+
+    def test_no_kpi_dominates_finding(self, summary):
+        """Table 2 finding: no KPI strongly correlates with throughput."""
+        assert summary.no_kpi_dominates
+
+    def test_app_headlines(self, summary):
+        apps = summary.apps
+        if apps.cav_driving_e2e_median_ms is not None:
+            assert not apps.cav_meets_100ms_budget  # §7.1.2
+        if apps.ar_driving_e2e_median_ms is not None and apps.ar_best_static_e2e_ms is not None:
+            assert apps.ar_driving_e2e_median_ms > apps.ar_best_static_e2e_ms
+        if apps.gaming_bitrate_median_mbps is not None:
+            assert 1.0 < apps.gaming_bitrate_median_mbps < 100.0
+
+    def test_tmobile_coverage_leads(self, summary):
+        assert (
+            summary.operators[Operator.TMOBILE].coverage_5g
+            > summary.operators[Operator.VERIZON].coverage_5g
+        )

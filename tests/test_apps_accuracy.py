@@ -1,0 +1,48 @@
+"""Table 5 accuracy model."""
+
+import pytest
+
+from repro.apps.accuracy import LOCAL_TRACKING_TABLE, MAP_FLOOR, map_for_latency
+
+
+class TestTable5:
+    def test_table_has_thirty_bins(self):
+        assert len(LOCAL_TRACKING_TABLE) == 30
+
+    def test_first_bin_identical_columns(self):
+        # Within one frame time, compression makes no difference (38.45).
+        assert LOCAL_TRACKING_TABLE[0] == (38.45, 38.45)
+
+    def test_exact_paper_values(self):
+        assert map_for_latency(2.5, compression=False) == 36.04
+        assert map_for_latency(2.5, compression=True) == 34.75
+        assert map_for_latency(29.5, compression=False) == 14.05
+        assert map_for_latency(29.5, compression=True) == 13.70
+
+    def test_compression_never_helps_accuracy(self):
+        for bin_idx in range(30):
+            without, with_c = LOCAL_TRACKING_TABLE[bin_idx]
+            assert with_c <= without
+
+    def test_broadly_decreasing(self):
+        # The table has small local bumps (e.g. bins 9→10), but over any
+        # 5-bin stride accuracy decreases.
+        for i in range(25):
+            assert LOCAL_TRACKING_TABLE[i + 5][0] < LOCAL_TRACKING_TABLE[i][0]
+
+    def test_extrapolation_beyond_table(self):
+        v40 = map_for_latency(40.0, compression=False)
+        v60 = map_for_latency(60.0, compression=False)
+        assert v40 < LOCAL_TRACKING_TABLE[-1][0]
+        assert v60 <= v40
+
+    def test_floor(self):
+        assert map_for_latency(500.0, compression=True) == MAP_FLOOR
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            map_for_latency(-1.0, compression=False)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            map_for_latency(float("nan"), compression=False)

@@ -1,0 +1,63 @@
+"""Cloud gaming session model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gaming import GamingConfig, run_gaming_session
+from repro.apps.schedule import LinkSchedule
+from repro.radio.technology import RadioTechnology
+
+
+def schedule(dl_mbps=500.0, duration_s=60.0, rtt_ms=20.0):
+    n = int(duration_s / 0.5)
+    return LinkSchedule(
+        times_s=np.arange(n) * 0.5,
+        tick_s=0.5,
+        ul_mbps=np.full(n, 10.0),
+        dl_mbps=np.full(n, dl_mbps) if np.isscalar(dl_mbps) else np.asarray(dl_mbps),
+        rtt_ms=np.full(n, rtt_ms),
+        techs=(RadioTechnology.NR_MMWAVE,) * n,
+        interruptions=(),
+    )
+
+
+class TestGaming:
+    def test_ideal_link_reaches_bitrate_cap(self):
+        """§7.3: best static run ≈98.5 Mbps (adapter cap 100)."""
+        m = run_gaming_session(schedule(dl_mbps=2000.0))
+        assert 85.0 < m.avg_bitrate_mbps <= 100.0
+        assert m.frame_drop_rate < 0.01
+
+    def test_ideal_link_latency_floor(self):
+        """§7.3: best static network latency ≈17 ms."""
+        m = run_gaming_session(schedule(dl_mbps=2000.0, rtt_ms=15.0))
+        assert 14.0 < m.median_latency_ms < 25.0
+
+    def test_constrained_link_tracks_capacity(self):
+        m = run_gaming_session(schedule(dl_mbps=25.0))
+        assert 10.0 < m.avg_bitrate_mbps < 28.0
+
+    def test_adapter_prefers_latency_over_drops(self):
+        """§7.3 obs. 2: drops stay low even when latency blows up."""
+        m = run_gaming_session(schedule(dl_mbps=6.0))
+        assert m.frame_drop_rate < 0.15
+        assert m.median_latency_ms > 25.0
+
+    def test_deep_outage_causes_drops_and_latency(self):
+        rates = np.concatenate([np.full(40, 80.0), np.full(20, 0.3), np.full(60, 80.0)])
+        m = run_gaming_session(schedule(dl_mbps=rates))
+        assert m.frame_drop_rate > 0.0
+        assert m.max_latency_ms > 200.0
+
+    def test_latency_percentiles_ordered(self):
+        m = run_gaming_session(schedule(dl_mbps=15.0))
+        assert m.median_latency_ms <= m.p95_latency_ms <= m.max_latency_ms
+
+    def test_bitrate_never_exceeds_cap(self):
+        cfg = GamingConfig(max_bitrate_mbps=50.0)
+        m = run_gaming_session(schedule(dl_mbps=5000.0), cfg)
+        assert m.avg_bitrate_mbps <= 50.0
+
+    def test_bytes_accounted(self):
+        m = run_gaming_session(schedule())
+        assert m.downlink_megabits == pytest.approx(m.avg_bitrate_mbps * 60.0, rel=0.01)

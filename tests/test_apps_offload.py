@@ -1,0 +1,119 @@
+"""AR / CAV offloading app model (Table 4 pipeline)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.offload import AR_CONFIG, CAV_CONFIG, OffloadAppConfig, run_offload_app
+from repro.apps.schedule import LinkSchedule
+from repro.radio.technology import RadioTechnology
+
+
+def schedule(ul_mbps=150.0, dl_mbps=800.0, rtt_ms=15.0, duration_s=20.0,
+             tech=RadioTechnology.NR_MMWAVE, interruptions=()):
+    n = int(duration_s / 0.5)
+    return LinkSchedule(
+        times_s=np.arange(n) * 0.5,
+        tick_s=0.5,
+        ul_mbps=np.full(n, ul_mbps),
+        dl_mbps=np.full(n, dl_mbps),
+        rtt_ms=np.full(n, rtt_ms),
+        techs=(tech,) * n,
+        interruptions=tuple(interruptions),
+    )
+
+
+class TestConfigs:
+    def test_table4_ar_values(self):
+        assert AR_CONFIG.fps == 30.0
+        assert AR_CONFIG.raw_frame_kb == 450.0
+        assert AR_CONFIG.compressed_frame_kb == 50.0
+        assert AR_CONFIG.compress_ms == pytest.approx(6.3)
+        assert AR_CONFIG.inference_ms == pytest.approx(24.9)
+        assert AR_CONFIG.decompress_ms == pytest.approx(1.0)
+        assert AR_CONFIG.duration_s == 20.0
+
+    def test_table4_cav_values(self):
+        assert CAV_CONFIG.fps == 10.0
+        assert CAV_CONFIG.raw_frame_kb == 2000.0
+        assert CAV_CONFIG.compressed_frame_kb == 38.0
+        assert CAV_CONFIG.compress_ms == pytest.approx(34.8)
+        assert CAV_CONFIG.inference_ms == pytest.approx(44.0)
+        assert CAV_CONFIG.decompress_ms == pytest.approx(19.1)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            OffloadAppConfig(
+                name="X", fps=0.0, raw_frame_kb=100, compressed_frame_kb=10,
+                compress_ms=1, inference_ms=1, decompress_ms=1, duration_s=10,
+                result_kb=1, align_to_frame=False,
+            )
+        with pytest.raises(ValueError):
+            OffloadAppConfig(
+                name="X", fps=30.0, raw_frame_kb=10, compressed_frame_kb=100,
+                compress_ms=1, inference_ms=1, decompress_ms=1, duration_s=10,
+                result_kb=1, align_to_frame=False,
+            )
+
+
+class TestArRuns:
+    def test_best_static_case_matches_paper(self):
+        """§7.1.1: best static ≈68 ms E2E, ≈12.5 FPS offloaded, mAP ≈36.5."""
+        m = run_offload_app(schedule(), AR_CONFIG, compression=True)
+        assert 45.0 < m.mean_e2e_ms < 90.0
+        assert 10.0 < m.offload_fps < 16.0
+        assert 34.0 < m.map_score < 38.5
+
+    def test_driving_degrades_everything(self):
+        good = run_offload_app(schedule(), AR_CONFIG, compression=True)
+        bad = run_offload_app(schedule(ul_mbps=4.0, rtt_ms=80.0), AR_CONFIG, compression=True)
+        assert bad.mean_e2e_ms > good.mean_e2e_ms * 2
+        assert bad.offload_fps < good.offload_fps
+        assert bad.map_score < good.map_score
+
+    def test_compression_helps_on_slow_links(self):
+        raw = run_offload_app(schedule(ul_mbps=6.0, rtt_ms=70.0), AR_CONFIG, compression=False)
+        compressed = run_offload_app(schedule(ul_mbps=6.0, rtt_ms=70.0), AR_CONFIG, compression=True)
+        assert compressed.mean_e2e_ms < raw.mean_e2e_ms / 3
+
+    def test_offload_fps_bounded_by_capture(self):
+        m = run_offload_app(schedule(ul_mbps=10_000.0, rtt_ms=1.0), AR_CONFIG, compression=True)
+        assert m.offload_fps <= AR_CONFIG.fps + 1e-9
+
+    def test_uplink_bytes_accounted(self):
+        m = run_offload_app(schedule(), AR_CONFIG, compression=True)
+        expected = m.offloaded_frames * AR_CONFIG.frame_megabits(True)
+        assert m.uplink_megabits == pytest.approx(expected)
+
+    def test_dead_link_yields_saturated_run(self):
+        m = run_offload_app(schedule(ul_mbps=0.01), AR_CONFIG, compression=False)
+        assert m.offload_fps < 1.0
+
+
+class TestCavRuns:
+    def test_never_meets_100ms_budget(self):
+        """§7.1.2: even ideal links miss the 100 ms CAV budget — the fixed
+        pipeline (34.8+44+19.1 ms) plus transfer makes it impossible."""
+        m = run_offload_app(schedule(ul_mbps=300.0, rtt_ms=15.0), CAV_CONFIG, compression=True)
+        assert m.mean_e2e_ms > 100.0
+
+    def test_compression_reduces_e2e_several_fold(self):
+        """§7.1.2: compression cuts the median E2E ~8×."""
+        raw = run_offload_app(schedule(ul_mbps=8.0, rtt_ms=70.0), CAV_CONFIG, compression=False)
+        compressed = run_offload_app(schedule(ul_mbps=8.0, rtt_ms=70.0), CAV_CONFIG, compression=True)
+        assert raw.mean_e2e_ms / compressed.mean_e2e_ms > 4.0
+
+    def test_cav_has_no_map(self):
+        m = run_offload_app(schedule(), CAV_CONFIG, compression=True)
+        assert m.map_score == 0.0
+
+
+class TestHandoverInteraction:
+    def test_interruptions_stretch_e2e(self):
+        clean = run_offload_app(schedule(ul_mbps=5.0), AR_CONFIG, compression=True)
+        intr = run_offload_app(
+            schedule(ul_mbps=5.0, interruptions=tuple((t, 0.08) for t in range(1, 19))),
+            AR_CONFIG, compression=True,
+        )
+        assert intr.mean_e2e_ms >= clean.mean_e2e_ms

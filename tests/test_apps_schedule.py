@@ -1,0 +1,105 @@
+"""LinkSchedule: point queries and transfer integration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.schedule import LinkSchedule
+from repro.radio.technology import HIGH_THROUGHPUT_TECHS, RadioTechnology
+
+
+def make_schedule(ul=(10.0,) * 10, dl=(50.0,) * 10, rtt=(40.0,) * 10,
+                  techs=None, interruptions=(), t0=0.0, tick=0.5):
+    n = len(ul)
+    techs = techs or (RadioTechnology.LTE_A,) * n
+    return LinkSchedule(
+        times_s=np.asarray([t0 + i * tick for i in range(n)]),
+        tick_s=tick,
+        ul_mbps=np.asarray(ul),
+        dl_mbps=np.asarray(dl),
+        rtt_ms=np.asarray(rtt),
+        techs=tuple(techs),
+        interruptions=tuple(interruptions),
+    )
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule(ul=(1.0, 2.0), dl=(1.0,) * 10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule(ul=(), dl=(), rtt=(), techs=())
+
+
+class TestPointQueries:
+    def test_rates_at_times(self):
+        s = make_schedule(ul=tuple(float(i) for i in range(1, 11)))
+        assert s.ul_rate_at(0.0) == 1.0
+        assert s.ul_rate_at(0.6) == 2.0
+        assert s.ul_rate_at(4.9) == 10.0
+
+    def test_clamping_outside_window(self):
+        s = make_schedule()
+        assert s.ul_rate_at(-5.0) == 10.0
+        assert s.dl_rate_at(100.0) == 50.0
+
+    def test_interruption_zeroes_rate(self):
+        s = make_schedule(interruptions=((1.0, 0.3),))
+        assert s.ul_rate_at(1.1) == 0.0
+        assert s.ul_rate_at(1.4) == 10.0
+
+    def test_duration(self):
+        assert make_schedule().duration_s == pytest.approx(5.0)
+
+    def test_tech_at(self):
+        techs = (RadioTechnology.LTE,) * 5 + (RadioTechnology.NR_MID,) * 5
+        s = make_schedule(techs=techs)
+        assert s.tech_at(0.1) is RadioTechnology.LTE
+        assert s.tech_at(3.0) is RadioTechnology.NR_MID
+
+
+class TestTransfer:
+    def test_constant_rate(self):
+        s = make_schedule(ul=(8.0,) * 10)
+        # 4 megabits at 8 Mbps = 0.5 s.
+        assert s.transfer_time_s(0.0, 4.0, "uplink") == pytest.approx(0.5)
+
+    def test_zero_size(self):
+        assert make_schedule().transfer_time_s(0.0, 0.0, "uplink") == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule().transfer_time_s(0.0, -1.0, "uplink")
+
+    def test_spans_rate_change(self):
+        s = make_schedule(dl=(10.0,) * 2 + (40.0,) * 8)
+        # 0.5 s tick: first 1 s at 10 Mbps moves 10 Mbit; next 10 Mbit at 40
+        # Mbps takes 0.25 s.
+        assert s.transfer_time_s(0.0, 20.0, "downlink") == pytest.approx(1.25)
+
+    def test_interruption_stalls_transfer(self):
+        base = make_schedule().transfer_time_s(0.0, 4.0, "uplink")
+        stalled = make_schedule(interruptions=((0.0, 0.2),)).transfer_time_s(0.0, 4.0, "uplink")
+        assert stalled == pytest.approx(base + 0.2, abs=0.01)
+
+    def test_incomplete_transfer_is_inf(self):
+        s = make_schedule(ul=(1.0,) * 10)  # 5 s × 1 Mbps = 5 Mbit max
+        assert math.isinf(s.transfer_time_s(0.0, 100.0, "uplink"))
+
+    def test_mid_window_start(self):
+        s = make_schedule(ul=(8.0,) * 10)
+        assert s.transfer_time_s(2.0, 4.0, "uplink") == pytest.approx(0.5)
+
+
+class TestAggregates:
+    def test_fraction_on(self):
+        techs = (RadioTechnology.NR_MID,) * 3 + (RadioTechnology.LTE,) * 7
+        s = make_schedule(techs=techs)
+        assert s.fraction_on(HIGH_THROUGHPUT_TECHS) == pytest.approx(0.3)
+
+    def test_handover_count(self):
+        s = make_schedule(interruptions=((1.0, 0.1), (2.0, 0.1)))
+        assert s.handover_count() == 2

@@ -1,0 +1,91 @@
+"""360° video streaming: BBA and the Yin et al. QoE."""
+
+import numpy as np
+import pytest
+
+from repro.apps.schedule import LinkSchedule
+from repro.apps.video import VideoConfig, bba_select_bitrate, run_video_session
+from repro.radio.technology import RadioTechnology
+
+
+def schedule(dl_mbps=1000.0, duration_s=180.0, rtt_ms=30.0):
+    n = int(duration_s / 0.5)
+    return LinkSchedule(
+        times_s=np.arange(n) * 0.5,
+        tick_s=0.5,
+        ul_mbps=np.full(n, 10.0),
+        dl_mbps=np.full(n, dl_mbps) if np.isscalar(dl_mbps) else np.asarray(dl_mbps),
+        rtt_ms=np.full(n, rtt_ms),
+        techs=(RadioTechnology.NR_MID,) * n,
+        interruptions=(),
+    )
+
+
+class TestBba:
+    def test_reservoir_forces_minimum(self):
+        cfg = VideoConfig()
+        assert bba_select_bitrate(0.0, cfg) == 5.0
+        assert bba_select_bitrate(cfg.reservoir_s, cfg) == 5.0
+
+    def test_cushion_top_allows_maximum(self):
+        cfg = VideoConfig()
+        assert bba_select_bitrate(cfg.reservoir_s + cfg.cushion_s, cfg) == 100.0
+
+    def test_monotone_in_buffer(self):
+        cfg = VideoConfig()
+        rates = [bba_select_bitrate(b, cfg) for b in np.linspace(0, 30, 61)]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_selects_only_ladder_rungs(self):
+        cfg = VideoConfig()
+        for b in np.linspace(0, 30, 200):
+            assert bba_select_bitrate(b, cfg) in cfg.bitrates_mbps
+
+    def test_invalid_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            VideoConfig(bitrates_mbps=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            VideoConfig(bitrates_mbps=())
+
+
+class TestSessions:
+    def test_ideal_link_qoe_near_theoretical_best(self):
+        """§7.2: best static run QoE ≈96 (theoretical best 100)."""
+        m = run_video_session(schedule())
+        assert 90.0 < m.qoe <= 100.0
+        assert m.rebuffer_ratio == 0.0
+
+    def test_starved_link_negative_qoe(self):
+        """§7.2: heavy rebuffering drives QoE deeply negative (μ = 100)."""
+        m = run_video_session(schedule(dl_mbps=1.5))
+        assert m.qoe < 0.0
+        assert m.rebuffer_ratio > 0.3
+
+    def test_rebuffer_ratio_bounded(self):
+        for rate in (0.5, 3.0, 20.0, 500.0):
+            m = run_video_session(schedule(dl_mbps=rate))
+            assert 0.0 <= m.rebuffer_ratio <= 1.0
+
+    def test_mid_rate_link_picks_mid_ladder(self):
+        m = run_video_session(schedule(dl_mbps=30.0))
+        assert 5.0 <= m.avg_bitrate_mbps <= 50.0
+
+    def test_higher_capacity_higher_bitrate(self):
+        slow = run_video_session(schedule(dl_mbps=8.0))
+        fast = run_video_session(schedule(dl_mbps=200.0))
+        assert fast.avg_bitrate_mbps > slow.avg_bitrate_mbps
+
+    def test_bytes_accounted(self):
+        m = run_video_session(schedule(dl_mbps=50.0))
+        assert m.downlink_megabits > 0.0
+
+    def test_dead_link_reports_total_stall(self):
+        m = run_video_session(schedule(dl_mbps=0.001, duration_s=60.0),
+                              VideoConfig(session_duration_s=60.0))
+        assert m.qoe < -50.0
+        assert m.rebuffer_ratio > 0.8
+
+    def test_fluctuating_link_switches_bitrate(self):
+        rates = np.concatenate([np.full(180, 150.0), np.full(180, 6.0)])
+        m = run_video_session(schedule(dl_mbps=rates))
+        assert m.bitrate_switches >= 2

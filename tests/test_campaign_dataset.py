@@ -1,0 +1,97 @@
+"""Dataset containers, filters, and Table 1 statistics."""
+
+import pytest
+
+from repro.campaign.tests import TestType
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+
+
+class TestFilters:
+    def test_operator_filter(self, dataset):
+        samples = dataset.tput(operator=Operator.VERIZON)
+        assert samples
+        assert all(s.operator is Operator.VERIZON for s in samples)
+
+    def test_direction_filter(self, dataset):
+        ul = dataset.tput(direction="uplink")
+        assert ul
+        assert all(s.direction == "uplink" for s in ul)
+
+    def test_static_filter_partitions(self, dataset):
+        total = len(dataset.throughput_samples)
+        static = len(dataset.tput(static=True))
+        driving = len(dataset.tput(static=False))
+        assert static + driving == total
+        assert static > 0 and driving > 0
+
+    def test_tech_filter(self, dataset):
+        lte = dataset.tput(techs=[RadioTechnology.LTE])
+        assert all(s.tech is RadioTechnology.LTE for s in lte)
+
+    def test_values_match_filter(self, dataset):
+        samples = dataset.tput(operator=Operator.ATT, direction="downlink")
+        values = dataset.tput_values(operator=Operator.ATT, direction="downlink")
+        assert len(values) == len(samples)
+
+    def test_rtt_filters(self, dataset):
+        rtts = dataset.rtts(operator=Operator.TMOBILE, static=False)
+        assert rtts
+        assert all(r.operator is Operator.TMOBILE and not r.static for r in rtts)
+
+    def test_tests_of(self, dataset):
+        dl = dataset.tests_of(test_type=TestType.DOWNLINK_THROUGHPUT, static=False)
+        assert dl
+        assert all(t.test_type is TestType.DOWNLINK_THROUGHPUT for t in dl)
+
+    def test_handovers_of(self, dataset):
+        hos = dataset.handovers_of(operator=Operator.VERIZON, direction="downlink")
+        assert all(
+            h.event.operator is Operator.VERIZON and h.direction == "downlink"
+            for h in hos
+        )
+
+    def test_samples_by_test_time_ordered(self, dataset):
+        grouped = dataset.samples_by_test()
+        assert grouped
+        some = next(iter(grouped.values()))
+        times = [s.time_s for s in some]
+        assert times == sorted(times)
+
+
+class TestSummary:
+    def test_distance_matches_route(self, dataset):
+        assert dataset.summary().total_distance_km == pytest.approx(5712.0, abs=5.0)
+
+    def test_passive_handover_counts_match_table1(self, dataset):
+        """Table 1: 2657 (V) / 4119 (T) / 2494 (A) over the whole trip."""
+        expected = {Operator.VERIZON: 2657, Operator.TMOBILE: 4119, Operator.ATT: 2494}
+        for op, target in expected.items():
+            assert target * 0.7 < dataset.passive_handover_counts[op] < target * 1.3
+
+    def test_tmobile_most_handovers(self, dataset):
+        s = dataset.summary()
+        assert s.handovers[Operator.TMOBILE] > s.handovers[Operator.VERIZON]
+        assert s.handovers[Operator.TMOBILE] > s.handovers[Operator.ATT]
+
+    def test_unique_cells_in_thousands(self, dataset):
+        for op in Operator:
+            assert dataset.connected_cells[op] > 1000
+
+    def test_rx_dwarfs_tx(self, dataset):
+        """Table 1: 777 GB received vs 83 GB transmitted (~9:1)."""
+        s = dataset.summary()
+        assert s.total_rx_gb > s.total_tx_gb * 2.5
+
+    def test_runtime_positive_for_all(self, dataset):
+        s = dataset.summary()
+        for op in Operator:
+            assert s.runtime_min[op] > 0.0
+
+    def test_all_test_types_ran(self, dataset):
+        s = dataset.summary()
+        assert set(s.test_counts) == set(TestType)
+
+    def test_data_volume_consistency(self, dataset):
+        rx, tx = dataset.data_volume_bytes()
+        assert rx > 0 and tx > 0

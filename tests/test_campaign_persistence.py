@@ -1,0 +1,111 @@
+"""Dataset save/load round trip."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.campaign.persistence import FORMAT_VERSION, load_dataset, save_dataset
+from repro.errors import LogFormatError
+from repro.radio.operators import Operator
+
+
+@pytest.fixture(scope="module")
+def saved(bare_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("persist") / "dataset.jsonl.gz"
+    save_dataset(bare_dataset, path)
+    return path, bare_dataset
+
+
+class TestRoundTrip:
+    def test_header_metadata(self, saved):
+        path, original = saved
+        loaded = load_dataset(path)
+        assert loaded.seed == original.seed
+        assert loaded.scale == original.scale
+        assert loaded.route_length_km == original.route_length_km
+        assert loaded.passive_handover_counts == original.passive_handover_counts
+        assert loaded.connected_cells == original.connected_cells
+
+    def test_record_counts(self, saved):
+        path, original = saved
+        loaded = load_dataset(path)
+        assert len(loaded.throughput_samples) == len(original.throughput_samples)
+        assert len(loaded.rtt_samples) == len(original.rtt_samples)
+        assert len(loaded.tests) == len(original.tests)
+        assert len(loaded.handovers) == len(original.handovers)
+        assert len(loaded.passive_coverage) == len(original.passive_coverage)
+
+    def test_sample_equality(self, saved):
+        path, original = saved
+        loaded = load_dataset(path)
+        assert loaded.throughput_samples[0] == original.throughput_samples[0]
+        assert loaded.rtt_samples[-1] == original.rtt_samples[-1]
+        assert loaded.tests[3] == original.tests[3]
+        if original.handovers:
+            assert loaded.handovers[0] == original.handovers[0]
+
+    def test_analyses_agree(self, saved):
+        path, original = saved
+        loaded = load_dataset(path)
+        import numpy as np
+
+        for op in Operator:
+            a = original.tput_values(operator=op, direction="downlink")
+            b = loaded.tput_values(operator=op, direction="downlink")
+            assert np.allclose(a, b)
+
+    def test_summary_agrees(self, saved):
+        path, original = saved
+        loaded = load_dataset(path)
+        assert loaded.summary().handovers == original.summary().handovers
+
+
+class TestAppRunsRoundTrip:
+    def test_app_records_preserved(self, dataset, tmp_path):
+        path = tmp_path / "full.jsonl.gz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded.offload_runs) == len(dataset.offload_runs)
+        assert len(loaded.video_runs) == len(dataset.video_runs)
+        assert len(loaded.gaming_runs) == len(dataset.gaming_runs)
+        assert loaded.offload_runs[0] == dataset.offload_runs[0]
+        assert loaded.video_runs[0] == dataset.video_runs[0]
+        assert loaded.gaming_runs[0] == dataset.gaming_runs[0]
+
+
+class TestErrorHandling:
+    def test_not_a_dataset(self, tmp_path):
+        path = tmp_path / "junk.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("this is not json\n")
+        with pytest.raises(LogFormatError):
+            load_dataset(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "noheader.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps({"kind": "tput"}) + "\n")
+        with pytest.raises(LogFormatError):
+            load_dataset(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "future.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps({
+                "kind": "header", "format": FORMAT_VERSION + 1,
+                "seed": 0, "scale": 1.0, "route_length_km": 1.0,
+            }) + "\n")
+        with pytest.raises(LogFormatError):
+            load_dataset(path)
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "badkind.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps({
+                "kind": "header", "format": FORMAT_VERSION,
+                "seed": 0, "scale": 1.0, "route_length_km": 1.0,
+            }) + "\n")
+            fh.write(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(LogFormatError):
+            load_dataset(path)

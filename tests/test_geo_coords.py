@@ -1,0 +1,99 @@
+"""Great-circle geometry."""
+
+import math
+
+import pytest
+
+from repro.geo.coords import (
+    EARTH_RADIUS_M,
+    LatLon,
+    haversine_m,
+    initial_bearing_deg,
+    interpolate,
+    offset_m,
+)
+
+LA = LatLon(34.0522, -118.2437)
+BOSTON = LatLon(42.3601, -71.0589)
+
+
+class TestLatLon:
+    def test_valid_point(self):
+        p = LatLon(45.0, -100.0)
+        assert p.lat == 45.0
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            LatLon(90.1, 0.0)
+        with pytest.raises(ValueError):
+            LatLon(-90.1, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            LatLon(0.0, 180.1)
+        with pytest.raises(ValueError):
+            LatLon(0.0, -180.1)
+
+    def test_distance_method_matches_function(self):
+        assert LA.distance_m(BOSTON) == haversine_m(LA, BOSTON)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(LA, LA) == 0.0
+
+    def test_symmetry(self):
+        assert haversine_m(LA, BOSTON) == pytest.approx(haversine_m(BOSTON, LA))
+
+    def test_la_boston_known_distance(self):
+        # Great-circle LA→Boston is about 4,180 km.
+        assert haversine_m(LA, BOSTON) == pytest.approx(4_180_000, rel=0.02)
+
+    def test_one_degree_latitude(self):
+        a, b = LatLon(0.0, 0.0), LatLon(1.0, 0.0)
+        expected = math.pi / 180.0 * EARTH_RADIUS_M
+        assert haversine_m(a, b) == pytest.approx(expected, rel=1e-6)
+
+    def test_antipodal_is_half_circumference(self):
+        a, b = LatLon(0.0, 0.0), LatLon(0.0, 180.0)
+        assert haversine_m(a, b) == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-6)
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        assert interpolate(LA, BOSTON, 0.0) == LA
+        assert interpolate(LA, BOSTON, 1.0) == BOSTON
+
+    def test_midpoint_between_endpoints(self):
+        mid = interpolate(LA, BOSTON, 0.5)
+        assert min(LA.lat, BOSTON.lat) <= mid.lat <= max(LA.lat, BOSTON.lat)
+        assert min(LA.lon, BOSTON.lon) <= mid.lon <= max(LA.lon, BOSTON.lon)
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            interpolate(LA, BOSTON, 1.5)
+        with pytest.raises(ValueError):
+            interpolate(LA, BOSTON, -0.1)
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(LatLon(0, 0), LatLon(1, 0)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert initial_bearing_deg(LatLon(0, 0), LatLon(0, 1)) == pytest.approx(90.0)
+
+    def test_range(self):
+        b = initial_bearing_deg(BOSTON, LA)
+        assert 0.0 <= b < 360.0
+
+
+class TestOffset:
+    def test_north_offset_increases_latitude(self):
+        p = offset_m(LA, east_m=0.0, north_m=1000.0)
+        assert p.lat > LA.lat
+        assert p.lon == pytest.approx(LA.lon)
+
+    def test_offset_distance_accuracy(self):
+        p = offset_m(LA, east_m=3000.0, north_m=4000.0)
+        assert haversine_m(LA, p) == pytest.approx(5000.0, rel=0.01)

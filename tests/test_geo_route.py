@@ -1,0 +1,118 @@
+"""Route construction and position resolution."""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.geo.regions import RegionType
+from repro.geo.route import (
+    CROSS_COUNTRY_CITIES,
+    Route,
+    RouteSegment,
+    build_cross_country_route,
+)
+from repro.geo.timezones import Timezone
+
+
+class TestCrossCountryRoute:
+    def test_total_length_matches_paper(self, route):
+        # Paper Table 1: 5711+ km.
+        assert 5700.0 <= route.total_length_km <= 5730.0
+
+    def test_ten_cities(self, route):
+        assert len(route.cities) == 10
+        assert route.cities[0].name == "Los Angeles"
+        assert route.cities[-1].name == "Boston"
+
+    def test_five_edge_server_cities(self, route):
+        # Paper §3: Wavelength in LA, Las Vegas, Denver, Chicago, Boston.
+        names = {c.name for c in route.edge_server_cities()}
+        assert names == {"Los Angeles", "Las Vegas", "Denver", "Chicago", "Boston"}
+
+    def test_every_city_has_a_city_segment(self, route):
+        for city in CROSS_COUNTRY_CITIES:
+            mark = route.city_mark_m(city.name)
+            assert route.position_at(mark).region is RegionType.CITY
+
+    def test_city_marks_are_ordered_west_to_east(self, route):
+        marks = [route.city_mark_m(c.name) for c in CROSS_COUNTRY_CITIES]
+        assert marks == sorted(marks)
+
+    def test_position_at_start_is_pacific_city(self, route):
+        pos = route.position_at(0.0)
+        assert pos.timezone is Timezone.PACIFIC
+        assert pos.region is RegionType.CITY
+
+    def test_position_at_end_is_eastern(self, route):
+        pos = route.position_at(route.total_length_m)
+        assert pos.timezone is Timezone.EASTERN
+
+    def test_all_four_timezones_present(self, route):
+        seen = set()
+        step = route.total_length_m / 400
+        for i in range(401):
+            seen.add(route.position_at(i * step).timezone)
+        assert seen == set(Timezone)
+
+    def test_all_region_types_present(self, route):
+        regions = {seg.region for seg in route.segments}
+        assert regions == set(RegionType)
+
+    def test_highway_dominates_mileage(self, route):
+        highway = sum(
+            s.length_m for s in route.segments if s.region is RegionType.HIGHWAY
+        )
+        assert highway / route.total_length_m > 0.8
+
+    def test_position_distance_out_of_range(self, route):
+        with pytest.raises(RouteError):
+            route.position_at(-1.0)
+        with pytest.raises(RouteError):
+            route.position_at(route.total_length_m + 1.0)
+
+    def test_positions_move_monotonically_east(self, route):
+        # Longitude should generally increase along the trip (west→east).
+        lons = [
+            route.position_at(f * route.total_length_m).point.lon
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert lons == sorted(lons)
+
+    def test_unknown_city_mark_raises(self, route):
+        with pytest.raises(RouteError):
+            route.city_mark_m("Miami")
+
+    def test_segment_start_index(self, route):
+        assert route.segment_start_m(0) == 0.0
+        with pytest.raises(RouteError):
+            route.segment_start_m(len(route.segments))
+
+    def test_position_segment_consistency(self, route):
+        mark = route.total_length_m * 0.37
+        pos = route.position_at(mark)
+        seg = route.segments[pos.segment_index]
+        start = route.segment_start_m(pos.segment_index)
+        assert start <= mark <= start + seg.length_m + 1e-6
+
+
+class TestRouteValidation:
+    def test_empty_route_rejected(self):
+        with pytest.raises(RouteError):
+            Route(segments=[])
+
+    def test_zero_length_segment_rejected(self):
+        from repro.geo.coords import LatLon
+
+        with pytest.raises(RouteError):
+            RouteSegment(
+                start_point=LatLon(0, 0),
+                end_point=LatLon(0, 1),
+                length_m=0.0,
+                region=RegionType.HIGHWAY,
+                city="X",
+            )
+
+    def test_deterministic_construction(self):
+        r1 = build_cross_country_route()
+        r2 = build_cross_country_route()
+        assert r1.total_length_m == r2.total_length_m
+        assert len(r1.segments) == len(r2.segments)

@@ -1,0 +1,80 @@
+"""Speed process behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import RegionType
+from repro.geo.speed import DEFAULT_SPEED_PARAMS, RegionSpeedParams, SpeedProfile
+from repro.units import speed_bin
+
+
+class TestRegionSpeedParams:
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            RegionSpeedParams(-1.0, 5.0, 0.1, 0.0, 0.0)
+
+    def test_stop_rate_bounds(self):
+        with pytest.raises(ValueError):
+            RegionSpeedParams(10.0, 5.0, 0.1, 1.5, 10.0)
+
+
+class TestSpeedProfile:
+    def test_speed_never_negative(self, rng):
+        profile = SpeedProfile(rng)
+        for _ in range(500):
+            assert profile.step(RegionType.CITY, 0.5) >= 0.0
+
+    def test_highway_speeds_land_in_high_bin(self, rng):
+        profile = SpeedProfile(rng)
+        speeds = [profile.step(RegionType.HIGHWAY, 0.5) for _ in range(2000)]
+        bins = [speed_bin(v) for v in speeds[200:]]
+        assert bins.count("60+ mph") / len(bins) > 0.85
+
+    def test_city_speeds_land_mostly_low(self, rng):
+        profile = SpeedProfile(rng)
+        speeds = [profile.step(RegionType.CITY, 0.5) for _ in range(2000)]
+        bins = [speed_bin(v) for v in speeds[200:]]
+        assert bins.count("0-20 mph") / len(bins) > 0.6
+
+    def test_city_has_full_stops(self, rng):
+        profile = SpeedProfile(rng)
+        speeds = [profile.step(RegionType.CITY, 0.5) for _ in range(4000)]
+        assert any(v == 0.0 for v in speeds)
+
+    def test_highway_never_stops(self, rng):
+        profile = SpeedProfile(rng)
+        speeds = [profile.step(RegionType.HIGHWAY, 0.5) for _ in range(2000)]
+        assert min(speeds[50:]) > 30.0
+
+    def test_transition_ramps_toward_new_mean(self, rng):
+        profile = SpeedProfile(rng)
+        for _ in range(200):
+            profile.step(RegionType.CITY, 0.5)
+        city_speed = profile.current_speed_mph
+        for _ in range(300):
+            profile.step(RegionType.HIGHWAY, 0.5)
+        assert profile.current_speed_mph > city_speed
+
+    def test_autocorrelation_at_tick_scale(self, rng):
+        profile = SpeedProfile(rng)
+        speeds = np.asarray([profile.step(RegionType.SUBURBAN, 0.5) for _ in range(3000)])
+        x = speeds[200:-1]
+        y = speeds[201:]
+        corr = np.corrcoef(x, y)[0, 1]
+        assert corr > 0.9  # strongly autocorrelated at 500 ms
+
+    def test_invalid_dt_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SpeedProfile(rng).step(RegionType.CITY, 0.0)
+
+    def test_distance_travelled(self, rng):
+        profile = SpeedProfile(rng)
+        profile.step(RegionType.HIGHWAY, 0.5)
+        d = profile.distance_travelled_m(0.5)
+        assert d == pytest.approx(profile.current_speed_mps * 0.5)
+
+    def test_current_speed_before_first_step(self, rng):
+        assert SpeedProfile(rng).current_speed_mph == 0.0
+
+    def test_default_params_cover_all_regions(self):
+        assert set(DEFAULT_SPEED_PARAMS) == set(RegionType)

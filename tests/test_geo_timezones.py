@@ -1,0 +1,56 @@
+"""Timezone boundaries along the route."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.geo.route import CROSS_COUNTRY_CITIES
+from repro.geo.timezones import (
+    ALL_TIMEZONES,
+    Timezone,
+    XCAL_INTERNAL_TZ,
+    timezone_for_longitude,
+)
+
+#: Ground truth: which timezone each trip city is in (August = DST).
+CITY_TZ = {
+    "Los Angeles": Timezone.PACIFIC,
+    "Las Vegas": Timezone.PACIFIC,
+    "Salt Lake City": Timezone.MOUNTAIN,
+    "Denver": Timezone.MOUNTAIN,
+    "Omaha": Timezone.CENTRAL,
+    "Chicago": Timezone.CENTRAL,
+    "Indianapolis": Timezone.EASTERN,
+    "Cleveland": Timezone.EASTERN,
+    "Rochester": Timezone.EASTERN,
+    "Boston": Timezone.EASTERN,
+}
+
+
+class TestTimezoneForLongitude:
+    @pytest.mark.parametrize("city", CROSS_COUNTRY_CITIES, ids=lambda c: c.name)
+    def test_cities_resolve_correctly(self, city):
+        assert timezone_for_longitude(city.location.lon) is CITY_TZ[city.name]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            timezone_for_longitude(-200.0)
+
+    def test_monotone_west_to_east(self):
+        order = [timezone_for_longitude(lon) for lon in (-120, -110, -95, -75)]
+        assert order == list(ALL_TIMEZONES)
+
+
+class TestOffsets:
+    def test_dst_offsets(self):
+        assert Timezone.PACIFIC.utc_offset_hours == -7
+        assert Timezone.EASTERN.utc_offset_hours == -4
+
+    def test_offset_timedelta(self):
+        assert Timezone.CENTRAL.utc_offset == timedelta(hours=-5)
+
+    def test_xcal_internal_convention_is_edt(self):
+        assert XCAL_INTERNAL_TZ is Timezone.EASTERN
+
+    def test_four_timezones(self):
+        assert len(ALL_TIMEZONES) == 4

@@ -1,0 +1,53 @@
+"""Server registry: cloud selection by timezone, Verizon edge rule."""
+
+import pytest
+
+from repro.geo.coords import LatLon
+from repro.geo.timezones import Timezone
+from repro.net.servers import EDGE_CITY_RADIUS_M, ServerKind, ServerRegistry
+from repro.radio.operators import Operator
+
+
+@pytest.fixture(scope="module")
+def registry(route):
+    return ServerRegistry(route)
+
+
+class TestCloudSelection:
+    def test_west_uses_california(self, registry):
+        assert "California" in registry.cloud_for(Timezone.PACIFIC).name
+        assert "California" in registry.cloud_for(Timezone.MOUNTAIN).name
+
+    def test_east_uses_ohio(self, registry):
+        assert "Ohio" in registry.cloud_for(Timezone.CENTRAL).name
+        assert "Ohio" in registry.cloud_for(Timezone.EASTERN).name
+
+
+class TestEdgeSelection:
+    def test_five_edge_servers(self, registry):
+        assert len(registry.edge_servers) == 5
+
+    def test_verizon_in_denver_gets_edge(self, registry):
+        denver = LatLon(39.7392, -104.9903)
+        server = registry.select(Operator.VERIZON, denver, Timezone.MOUNTAIN)
+        assert server.kind is ServerKind.EDGE
+        assert "Denver" in server.name
+
+    def test_verizon_mid_highway_gets_cloud(self, registry):
+        nowhere = LatLon(41.0, -99.0)  # Nebraska
+        server = registry.select(Operator.VERIZON, nowhere, Timezone.CENTRAL)
+        assert server.kind is ServerKind.CLOUD
+
+    @pytest.mark.parametrize("op", [Operator.TMOBILE, Operator.ATT])
+    def test_other_operators_never_get_edge(self, registry, op):
+        denver = LatLon(39.7392, -104.9903)
+        assert registry.select(op, denver, Timezone.MOUNTAIN).kind is ServerKind.CLOUD
+
+    def test_edge_radius_boundary(self, registry, route):
+        chicago = next(c for c in route.cities if c.name == "Chicago")
+        far = LatLon(chicago.location.lat + 1.2, chicago.location.lon)  # >60 km away
+        assert (
+            registry.select(Operator.VERIZON, far, Timezone.CENTRAL).kind
+            is ServerKind.CLOUD
+        )
+        assert EDGE_CITY_RADIUS_M == pytest.approx(60_000.0)

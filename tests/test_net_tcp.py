@@ -1,0 +1,74 @@
+"""Single-flow CUBIC model."""
+
+import numpy as np
+import pytest
+
+from repro.net.tcp import CubicFlow
+
+
+def run_flow(flow, capacity, rtt, ticks, bler=0.02):
+    return [flow.advance(capacity, rtt, 0.5, bler) for _ in range(ticks)]
+
+
+class TestCubicFlow:
+    def test_never_exceeds_capacity(self, rng):
+        flow = CubicFlow(rng)
+        tputs = run_flow(flow, 80.0, 50.0, 200)
+        assert max(tputs) <= 80.0
+
+    def test_ramps_up_from_cold_start(self, rng):
+        flow = CubicFlow(rng)
+        tputs = run_flow(flow, 100.0, 50.0, 60, bler=0.0)
+        assert np.mean(tputs[:4]) < np.mean(tputs[-10:])
+
+    def test_reaches_capacity_eventually(self, rng):
+        flow = CubicFlow(rng)
+        tputs = run_flow(flow, 50.0, 40.0, 120, bler=0.01)
+        assert max(tputs) > 45.0
+
+    def test_high_bler_depresses_goodput(self):
+        # At a long RTT the window recovers slowly, so repeated random
+        # losses visibly depress goodput.
+        clean = np.mean(run_flow(CubicFlow(np.random.default_rng(0)), 100.0, 250.0, 300, bler=0.0))
+        lossy = np.mean(run_flow(CubicFlow(np.random.default_rng(0)), 100.0, 250.0, 300, bler=0.6))
+        assert lossy < clean * 0.9
+
+    def test_high_rtt_slows_ramp(self):
+        fast = run_flow(CubicFlow(np.random.default_rng(1)), 500.0, 20.0, 20, bler=0.0)
+        slow = run_flow(CubicFlow(np.random.default_rng(1)), 500.0, 400.0, 20, bler=0.0)
+        assert sum(fast) > sum(slow)
+
+    def test_interruption_reduces_tick_goodput(self):
+        f1 = CubicFlow(np.random.default_rng(2))
+        run_flow(f1, 100.0, 50.0, 50, bler=0.0)
+        base = f1.advance(100.0, 50.0, 0.5, 0.0, interruption_s=0.0)
+        f2 = CubicFlow(np.random.default_rng(2))
+        run_flow(f2, 100.0, 50.0, 50, bler=0.0)
+        hit = f2.advance(100.0, 50.0, 0.5, 0.0, interruption_s=0.4)
+        assert hit < base * 0.5
+
+    def test_recovers_after_capacity_drop(self, rng):
+        flow = CubicFlow(rng)
+        run_flow(flow, 200.0, 50.0, 100)
+        run_flow(flow, 2.0, 50.0, 40)  # deep congestion zone
+        recovered = run_flow(flow, 200.0, 50.0, 200, bler=0.0)
+        assert max(recovered) > 100.0
+
+    def test_invalid_inputs_rejected(self, rng):
+        flow = CubicFlow(rng)
+        with pytest.raises(ValueError):
+            flow.advance(0.0, 50.0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            flow.advance(10.0, 0.0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            flow.advance(10.0, 50.0, 0.5, 0.1, interruption_s=1.0)
+
+    def test_goodput_non_negative(self, rng):
+        flow = CubicFlow(rng)
+        for _ in range(500):
+            assert flow.advance(5.0, 80.0, 0.5, 0.3) >= 0.0
+
+    def test_window_positive(self, rng):
+        flow = CubicFlow(rng)
+        run_flow(flow, 1.0, 500.0, 300, bler=0.5)
+        assert flow.window_mbit > 0.0

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.apps.accuracy import MAP_FLOOR, map_for_latency
+from repro.apps.schedule import LinkSchedule
+from repro.apps.video import VideoConfig, bba_select_bitrate
+from repro.geo.coords import LatLon, haversine_m, interpolate, offset_m
+from repro.geo.route import build_cross_country_route
+from repro.radio.ca import aggregate_capacity_factor
+from repro.radio.technology import RadioTechnology
+from repro.rng import clamp
+from repro.units import (
+    bps_to_mbps,
+    dbm_to_mw,
+    mbps_to_bps,
+    meters_to_miles,
+    miles_to_meters,
+    mph_to_mps,
+    mps_to_mph,
+    mw_to_dbm,
+    speed_bin,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+lat = st.floats(min_value=-89.9, max_value=89.9)
+lon = st.floats(min_value=-179.9, max_value=179.9)
+points = st.builds(LatLon, lat=lat, lon=lon)
+
+_ROUTE = build_cross_country_route()
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    def test_distance_round_trip(self, miles):
+        assert math.isclose(meters_to_miles(miles_to_meters(miles)), miles, rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_speed_round_trip(self, mph):
+        assert math.isclose(mps_to_mph(mph_to_mps(mph)), mph, rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1e12))
+    def test_rate_round_trip(self, mbps):
+        assert math.isclose(bps_to_mbps(mbps_to_bps(mbps)), mbps, rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(st.floats(min_value=-150.0, max_value=60.0))
+    def test_power_round_trip(self, dbm):
+        assert math.isclose(mw_to_dbm(dbm_to_mw(dbm)), dbm, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    def test_speed_bin_total(self, mph):
+        assert speed_bin(mph) in ("0-20 mph", "20-60 mph", "60+ mph")
+
+    @given(finite, st.floats(min_value=-100, max_value=0), st.floats(min_value=0, max_value=100))
+    def test_clamp_bounds(self, x, lo, hi):
+        assert lo <= clamp(x, lo, hi) <= hi
+
+
+class TestGeoProperties:
+    @given(points, points)
+    def test_haversine_symmetric(self, a, b):
+        assert math.isclose(haversine_m(a, b), haversine_m(b, a), rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(points, points)
+    def test_haversine_nonnegative(self, a, b):
+        assert haversine_m(a, b) >= 0.0
+
+    @given(points, points, points)
+    def test_haversine_triangle_inequality(self, a, b, c):
+        assert haversine_m(a, c) <= haversine_m(a, b) + haversine_m(b, c) + 1e-6
+
+    @given(points, points, st.floats(min_value=0.0, max_value=1.0))
+    def test_interpolation_stays_in_box(self, a, b, f):
+        p = interpolate(a, b, f)
+        assert min(a.lat, b.lat) - 1e-9 <= p.lat <= max(a.lat, b.lat) + 1e-9
+        assert min(a.lon, b.lon) - 1e-9 <= p.lon <= max(a.lon, b.lon) + 1e-9
+
+    @given(
+        st.floats(min_value=-80.0, max_value=80.0),
+        st.floats(min_value=-179.0, max_value=179.0),
+        st.floats(min_value=-5000.0, max_value=5000.0),
+        st.floats(min_value=-5000.0, max_value=5000.0),
+    )
+    def test_offset_distance(self, plat, plon, east, north):
+        origin = LatLon(plat, plon)
+        target = offset_m(origin, east, north)
+        expected = math.hypot(east, north)
+        if expected > 10.0:
+            assert math.isclose(haversine_m(origin, target), expected, rel_tol=0.05)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_route_positions_always_resolve(self, fraction):
+        mark = fraction * _ROUTE.total_length_m
+        pos = _ROUTE.position_at(mark)
+        assert pos.distance_m == mark
+        assert -90.0 <= pos.point.lat <= 90.0
+
+
+class TestCdfProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_quantiles_monotone(self, values):
+        cdf = EmpiricalCDF.from_values(values)
+        qs = [cdf.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert qs == sorted(qs)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200), finite)
+    def test_prob_below_above_complement(self, values, x):
+        cdf = EmpiricalCDF.from_values(values)
+        below = cdf.prob_below(x)
+        above = cdf.prob_above(x)
+        assert 0.0 <= below <= 1.0 and 0.0 <= above <= 1.0
+        assert below + above <= 1.0 + 1e-12  # ties excluded from both
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_min_max_bound_quantiles(self, values):
+        cdf = EmpiricalCDF.from_values(values)
+        assert cdf.minimum <= cdf.median <= cdf.maximum
+
+
+class TestAccuracyProperties:
+    @given(st.floats(min_value=0.0, max_value=200.0), st.booleans())
+    def test_map_in_valid_range(self, frames, compression):
+        score = map_for_latency(frames, compression)
+        assert MAP_FLOOR <= score <= 38.45
+
+    @given(st.floats(min_value=0.0, max_value=100.0), st.booleans())
+    def test_map_weakly_decreasing_over_strides(self, frames, compression):
+        assert map_for_latency(frames + 6.0, compression) <= map_for_latency(frames, compression)
+
+
+class TestBbaProperties:
+    @given(st.floats(min_value=0.0, max_value=60.0))
+    def test_rate_is_ladder_member(self, buffer_s):
+        cfg = VideoConfig()
+        assert bba_select_bitrate(buffer_s, cfg) in cfg.bitrates_mbps
+
+    @given(st.floats(min_value=0.0, max_value=59.0), st.floats(min_value=0.0, max_value=1.0))
+    def test_rate_monotone_in_buffer(self, buffer_s, delta):
+        cfg = VideoConfig()
+        assert bba_select_bitrate(buffer_s + delta, cfg) >= bba_select_bitrate(buffer_s, cfg)
+
+
+class TestCaProperties:
+    @given(st.integers(min_value=1, max_value=16))
+    def test_aggregate_factor_bounds(self, n):
+        factor = aggregate_capacity_factor(n)
+        assert 1.0 <= factor <= n
+
+
+class TestScheduleProperties:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=2, max_size=40),
+        st.floats(min_value=0.01, max_value=50.0),
+    )
+    @settings(max_examples=60)
+    def test_transfer_time_consistent_with_rates(self, rates, megabits):
+        n = len(rates)
+        schedule = LinkSchedule(
+            times_s=np.arange(n) * 0.5,
+            tick_s=0.5,
+            ul_mbps=np.asarray(rates),
+            dl_mbps=np.asarray(rates),
+            rtt_ms=np.full(n, 50.0),
+            techs=(RadioTechnology.LTE,) * n,
+        )
+        t = schedule.transfer_time_s(0.0, megabits, "uplink")
+        max_possible = sum(r * 0.5 for r in rates)
+        if megabits <= max_possible:
+            assert t > 0.0
+            # Bounds from the best and worst constant-rate schedules.
+            assert megabits / max(rates) - 1e-6 <= t <= megabits / min(rates) + 1e-6
+        else:
+            assert math.isinf(t)
+
+    @given(st.floats(min_value=-10.0, max_value=60.0))
+    @settings(max_examples=40)
+    def test_point_queries_never_fail(self, t):
+        schedule = LinkSchedule(
+            times_s=np.arange(10) * 0.5,
+            tick_s=0.5,
+            ul_mbps=np.full(10, 5.0),
+            dl_mbps=np.full(10, 20.0),
+            rtt_ms=np.full(10, 40.0),
+            techs=(RadioTechnology.NR_MID,) * 10,
+        )
+        assert schedule.ul_rate_at(t) >= 0.0
+        assert schedule.dl_rate_at(t) >= 0.0
+        assert schedule.rtt_at(t) > 0.0

@@ -1,0 +1,84 @@
+"""Carrier-aggregation model."""
+
+import numpy as np
+import pytest
+
+from repro.radio.ca import (
+    CarrierAggregationModel,
+    Direction,
+    aggregate_capacity_factor,
+    secondary_cc_factor,
+)
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+
+
+class TestSecondaryFactors:
+    def test_primary_is_one(self):
+        assert secondary_cc_factor(0) == 1.0
+
+    def test_diminishing(self):
+        factors = [secondary_cc_factor(i) for i in range(6)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            secondary_cc_factor(-1)
+
+    def test_aggregate_single(self):
+        assert aggregate_capacity_factor(1) == 1.0
+
+    def test_aggregate_monotone(self):
+        values = [aggregate_capacity_factor(n) for n in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_aggregate_subadditive(self):
+        assert aggregate_capacity_factor(4) < 4.0
+
+    def test_aggregate_rejects_zero(self):
+        with pytest.raises(ValueError):
+            aggregate_capacity_factor(0)
+
+
+class TestDrawCcs:
+    def test_lte_is_single_carrier(self, rng):
+        model = CarrierAggregationModel(rng)
+        for op in Operator:
+            assert model.draw_ccs(op, RadioTechnology.LTE, Direction.DOWNLINK) == 1
+
+    def test_lte_a_always_aggregates_downlink(self, rng):
+        model = CarrierAggregationModel(rng)
+        for _ in range(100):
+            assert model.draw_ccs(Operator.ATT, RadioTechnology.LTE_A, Direction.DOWNLINK) >= 2
+
+    def test_verizon_rarely_aggregates_uplink(self, rng):
+        """§5.5: 'Verizon rarely uses CA in the uplink'."""
+        model = CarrierAggregationModel(rng)
+        draws = [
+            model.draw_ccs(Operator.VERIZON, RadioTechnology.NR_MID, Direction.UPLINK)
+            for _ in range(500)
+        ]
+        assert draws.count(1) / len(draws) > 0.85
+
+    def test_tmobile_often_two_uplink_carriers(self, rng):
+        """§5.5: 'T-Mobile often aggregates 2 carriers in the uplink'."""
+        model = CarrierAggregationModel(rng)
+        draws = [
+            model.draw_ccs(Operator.TMOBILE, RadioTechnology.NR_MID, Direction.UPLINK)
+            for _ in range(500)
+        ]
+        assert draws.count(2) / len(draws) > 0.5
+
+    def test_uplink_never_exceeds_two(self, rng):
+        # The S21 supports at most 2 UL CCs (§B).
+        model = CarrierAggregationModel(rng)
+        for op in Operator:
+            for tech in RadioTechnology:
+                for _ in range(50):
+                    assert model.draw_ccs(op, tech, Direction.UPLINK) <= 2
+
+    def test_unknown_direction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CarrierAggregationModel(rng).draw_ccs(
+                Operator.VERIZON, RadioTechnology.LTE, "sideways"
+            )

@@ -1,0 +1,58 @@
+"""Technology taxonomy (HT/LT classes, band properties)."""
+
+import pytest
+
+from repro.radio.technology import (
+    ALL_TECHNOLOGIES,
+    HIGH_THROUGHPUT_TECHS,
+    LOW_THROUGHPUT_TECHS,
+    RadioTechnology,
+)
+
+
+class TestTaxonomy:
+    def test_five_technologies(self):
+        assert len(ALL_TECHNOLOGIES) == 5
+
+    def test_ht_lt_partition(self):
+        # §5.4: HT = {mmWave, midband}, LT = {LTE, LTE-A, 5G-low}.
+        assert HIGH_THROUGHPUT_TECHS | LOW_THROUGHPUT_TECHS == set(ALL_TECHNOLOGIES)
+        assert not HIGH_THROUGHPUT_TECHS & LOW_THROUGHPUT_TECHS
+        assert RadioTechnology.NR_MMWAVE in HIGH_THROUGHPUT_TECHS
+        assert RadioTechnology.NR_MID in HIGH_THROUGHPUT_TECHS
+        assert RadioTechnology.NR_LOW in LOW_THROUGHPUT_TECHS
+
+    def test_5g_flags(self):
+        assert RadioTechnology.NR_LOW.is_5g
+        assert RadioTechnology.NR_MMWAVE.is_5g
+        assert not RadioTechnology.LTE.is_5g
+        assert RadioTechnology.LTE_A.is_4g
+
+    def test_ranks_strictly_increase(self):
+        ranks = [t.rank for t in ALL_TECHNOLOGIES]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
+
+    def test_mmwave_carrier_is_high_band(self):
+        assert RadioTechnology.NR_MMWAVE.carrier_ghz > 24.0
+        assert RadioTechnology.NR_LOW.carrier_ghz < 1.0
+
+    def test_channel_bandwidth_ordering(self):
+        assert (
+            RadioTechnology.NR_MMWAVE.channel_mhz
+            > RadioTechnology.NR_MID.channel_mhz
+            > RadioTechnology.LTE.channel_mhz
+        )
+
+    def test_ran_latency_ordering(self):
+        # mmWave's short slots give the lowest air latency (Fig. 4's RTTs).
+        assert (
+            RadioTechnology.NR_MMWAVE.ran_latency_ms
+            < RadioTechnology.NR_MID.ran_latency_ms
+            < RadioTechnology.LTE.ran_latency_ms
+        )
+
+    def test_labels_match_paper(self):
+        assert str(RadioTechnology.NR_MMWAVE) == "5G-mmWave"
+        assert str(RadioTechnology.LTE_A) == "LTE-A"
+        assert str(RadioTechnology.NR_LOW) == "5G-low"

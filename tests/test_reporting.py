@@ -1,0 +1,46 @@
+"""Text-table renderer."""
+
+import pytest
+
+from repro.reporting.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(3.14159, precision=3) == "3.142"
+
+    def test_large_float_thousands(self):
+        assert format_value(5711.0) == "5,711"
+
+    def test_nan_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_value("Verizon") == "Verizon"
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["op", "median"], [["V", 12.5], ["T", 8.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("op")
+        assert "-+-" in lines[1]
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = out.splitlines()
+        assert lines[2].index("|") == lines[3].index("|")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

@@ -1,0 +1,56 @@
+"""ASCII Fig. 1 strips."""
+
+import pytest
+
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+from repro.reporting.strips import TECH_GLYPHS, render_fig1, render_strip
+
+
+class TestRenderStrip:
+    def test_glyph_per_technology(self):
+        assert len(TECH_GLYPHS) == len(RadioTechnology)
+        assert len(set(TECH_GLYPHS.values())) == len(TECH_GLYPHS)
+
+    def test_passive_strip_has_no_gaps(self, dataset):
+        strip = render_strip(dataset, Operator.VERIZON, "passive")
+        assert "." not in strip  # the logger ran for the whole trip
+
+    def test_active_strip_has_gaps_at_partial_scale(self, dataset):
+        strip = render_strip(dataset, Operator.VERIZON, "active")
+        assert "." in strip
+
+    def test_att_passive_strip_is_pure_4g(self, dataset):
+        """Fig. 1d rendered: only 'l'/'L' glyphs."""
+        strip = render_strip(dataset, Operator.ATT, "passive")
+        assert set(strip) <= {"l", "L"}
+
+    def test_strip_length_tracks_bins(self, dataset):
+        coarse = render_strip(dataset, Operator.TMOBILE, "passive", bin_km=100.0)
+        fine = render_strip(dataset, Operator.TMOBILE, "passive", bin_km=25.0)
+        assert len(fine) > len(coarse) * 3
+
+    def test_width_rebinning(self, dataset):
+        strip = render_strip(dataset, Operator.TMOBILE, "passive", bin_km=10.0, width=80)
+        assert len(strip) == 80
+
+    def test_only_known_glyphs(self, dataset):
+        strip = render_strip(dataset, Operator.TMOBILE, "active")
+        allowed = set(TECH_GLYPHS.values()) | {"."}
+        assert set(strip) <= allowed
+
+
+class TestRenderFig1:
+    def test_full_figure(self, dataset):
+        figure = render_fig1(dataset)
+        assert "legend:" in figure
+        for op in Operator:
+            assert f"{op.code} passive:" in figure
+            assert f"{op.code}  active:" in figure
+
+    def test_tmobile_active_strip_contains_5g(self, dataset):
+        figure = render_fig1(dataset)
+        active_line = next(
+            line for line in figure.splitlines() if line.startswith("T  active:")
+        )
+        assert any(g in active_line for g in ("n", "N", "M"))

@@ -1,0 +1,89 @@
+"""Unit conversions and the paper's speed bins."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDistance:
+    def test_mile_round_trip(self):
+        assert units.meters_to_miles(units.miles_to_meters(3.2)) == pytest.approx(3.2)
+
+    def test_km_to_miles_known_value(self):
+        assert units.km_to_miles(1.609344) == pytest.approx(1.0)
+
+    def test_miles_to_km_round_trip(self):
+        assert units.miles_to_km(units.km_to_miles(5711.0)) == pytest.approx(5711.0)
+
+
+class TestSpeed:
+    def test_mph_to_mps_known_value(self):
+        # 60 mph is 26.82 m/s.
+        assert units.mph_to_mps(60.0) == pytest.approx(26.8224)
+
+    def test_speed_round_trip(self):
+        assert units.mps_to_mph(units.mph_to_mps(42.0)) == pytest.approx(42.0)
+
+
+class TestDataRates:
+    def test_mbps_round_trip(self):
+        assert units.bps_to_mbps(units.mbps_to_bps(123.4)) == pytest.approx(123.4)
+
+    def test_bytes_to_megabits(self):
+        assert units.bytes_to_megabits(125_000) == pytest.approx(1.0)
+
+    def test_megabits_to_bytes_inverse(self):
+        assert units.megabits_to_bytes(units.bytes_to_megabits(4096)) == pytest.approx(4096)
+
+    def test_bytes_to_gigabytes(self):
+        assert units.bytes_to_gigabytes(777e9) == pytest.approx(777.0)
+
+
+class TestRfPower:
+    def test_dbm_zero_is_one_milliwatt(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_mw_to_dbm_round_trip(self):
+        assert units.mw_to_dbm(units.dbm_to_mw(-95.5)) == pytest.approx(-95.5)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-1.0)
+
+    def test_db_sum_doubles_power(self):
+        # Adding two equal powers gains 3 dB.
+        assert units.db_sum(-90.0, -90.0) == pytest.approx(-90.0 + 10 * math.log10(2))
+
+    def test_db_sum_requires_values(self):
+        with pytest.raises(ValueError):
+            units.db_sum()
+
+
+class TestSpeedBins:
+    def test_low_bin(self):
+        assert units.speed_bin(0.0) == "0-20 mph"
+        assert units.speed_bin(19.99) == "0-20 mph"
+
+    def test_mid_bin(self):
+        assert units.speed_bin(20.0) == "20-60 mph"
+        assert units.speed_bin(59.9) == "20-60 mph"
+
+    def test_high_bin(self):
+        assert units.speed_bin(60.0) == "60+ mph"
+        assert units.speed_bin(120.0) == "60+ mph"
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            units.speed_bin(-1.0)
+
+    def test_xcal_sample_period_is_half_second(self):
+        assert units.XCAL_SAMPLE_PERIOD_S == 0.5
+
+    def test_handover_logger_ping_parameters(self):
+        # Paper §3: 38-byte ICMP every 200 ms.
+        assert units.HANDOVER_LOGGER_PING_INTERVAL_S == pytest.approx(0.2)
+        assert units.HANDOVER_LOGGER_PING_PAYLOAD_BYTES == 38

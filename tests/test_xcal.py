@@ -1,0 +1,145 @@
+"""XCAL record / DRM / app-log serialisation."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.radio.operators import Operator
+from repro.radio.technology import RadioTechnology
+from repro.xcal.applog import AppLogFile, TimestampConvention
+from repro.xcal.drm import DrmFile
+from repro.xcal.records import SignalingRecord, XcalKpiRecord
+
+TS = datetime(2022, 8, 10, 14, 30, 5, 500000)
+
+
+def kpi(**overrides):
+    defaults = dict(
+        timestamp_edt=TS,
+        technology=RadioTechnology.NR_MID,
+        rsrp_dbm=-95.2,
+        mcs=17,
+        bler=0.08,
+        n_ccs=2,
+        tput_mbps=45.3,
+    )
+    defaults.update(overrides)
+    return XcalKpiRecord(**defaults)
+
+
+class TestKpiRecord:
+    def test_round_trip(self):
+        record = kpi()
+        parsed = XcalKpiRecord.from_line(record.to_line())
+        assert parsed == record
+
+    def test_line_carries_edt_marker(self):
+        assert " EDT|KPI|" in kpi().to_line()
+
+    def test_rejects_non_edt(self):
+        line = kpi().to_line().replace(" EDT|", " UTC|")
+        with pytest.raises(LogFormatError):
+            XcalKpiRecord.from_line(line)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(LogFormatError):
+            XcalKpiRecord.from_line("hello world")
+
+    def test_rejects_bad_field(self):
+        line = kpi().to_line().replace("mcs=17", "mcs=seventeen")
+        with pytest.raises(LogFormatError):
+            XcalKpiRecord.from_line(line)
+
+
+class TestSignalingRecord:
+    def test_round_trip(self):
+        record = SignalingRecord(TS, "HO_START", "V-LTE-000001", "V-LTE-000002")
+        assert SignalingRecord.from_line(record.to_line()) == record
+
+    def test_rejects_unknown_event(self):
+        line = SignalingRecord(TS, "HO_END", "a", "b").to_line().replace("HO_END", "REBOOT")
+        with pytest.raises(LogFormatError):
+            SignalingRecord.from_line(line)
+
+
+class TestDrmFile:
+    def make(self):
+        drm = DrmFile(
+            operator=Operator.TMOBILE,
+            test_label="dl_tput",
+            start_local=datetime(2022, 8, 10, 9, 30, 0),
+        )
+        drm.kpi_records = [kpi(), kpi(mcs=20)]
+        drm.signaling_records = [SignalingRecord(TS, "HO_START", "a", "b")]
+        return drm
+
+    def test_filename_convention(self):
+        assert self.make().filename == "20220810_093000_dl_tput_T.drm"
+
+    def test_round_trip(self):
+        drm = self.make()
+        parsed = DrmFile.parse(drm.filename, drm.serialize())
+        assert parsed.operator is Operator.TMOBILE
+        assert parsed.test_label == "dl_tput"
+        assert parsed.start_local == drm.start_local
+        assert parsed.kpi_records == drm.kpi_records
+        assert parsed.signaling_records == drm.signaling_records
+
+    def test_records_sorted_by_time(self):
+        drm = self.make()
+        drm.signaling_records = []
+        drm.kpi_records = [kpi(timestamp_edt=datetime(2022, 8, 10, 15, 0, 1)),
+                           kpi(timestamp_edt=datetime(2022, 8, 10, 14, 59, 59))]
+        body = drm.serialize()
+        lines = [l for l in body.splitlines() if not l.startswith("#")]
+        assert "14:59:59" in lines[0]
+
+    def test_rejects_bad_filename(self):
+        with pytest.raises(LogFormatError):
+            DrmFile.parse("garbage.drm", "# XCAL\n")
+        with pytest.raises(LogFormatError):
+            DrmFile.parse("20220810_093000_dl_tput_Z.drm", "#\n")
+
+    def test_rejects_unknown_record(self):
+        drm = self.make()
+        with pytest.raises(LogFormatError):
+            DrmFile.parse(drm.filename, "junk|WHAT|x=1\n")
+
+
+class TestAppLogFile:
+    def make(self, convention):
+        log = AppLogFile(
+            operator=Operator.VERIZON,
+            test_label="rtt",
+            start_utc=datetime(2022, 8, 10, 18, 30, 0),
+            convention=convention,
+            utc_offset_hours=-6,
+        )
+        log.samples = [(0.0, 55.1), (0.2, 61.3), (0.4, 48.8)]
+        return log
+
+    @pytest.mark.parametrize("convention", list(TimestampConvention))
+    def test_round_trip(self, convention):
+        log = self.make(convention)
+        parsed = AppLogFile.parse(log.filename, log.serialize(), log.utc_offset_hours)
+        assert parsed.operator is Operator.VERIZON
+        assert parsed.convention is convention
+        assert len(parsed.samples) == 3
+        for (o1, v1), (o2, v2) in zip(parsed.samples, log.samples):
+            assert o1 == pytest.approx(o2, abs=0.01)
+            assert v1 == pytest.approx(v2)
+
+    def test_local_wall_lines_differ_from_utc(self):
+        utc_log = self.make(TimestampConvention.UTC_EPOCH).serialize()
+        local_log = self.make(TimestampConvention.LOCAL_WALL).serialize()
+        assert utc_log != local_log
+
+    def test_rejects_bad_header(self):
+        log = self.make(TimestampConvention.UTC_EPOCH)
+        with pytest.raises(LogFormatError):
+            AppLogFile.parse(log.filename, "no header\n1|2\n", -6)
+
+    def test_rejects_bad_filename(self):
+        with pytest.raises(LogFormatError):
+            AppLogFile.parse("x.log", "# applog fmt=utc_epoch\n", -6)
