@@ -14,26 +14,37 @@ The library has three layers:
 3. **Analysis** (:mod:`repro.analysis`): the paper's cross-layer analysis
    pipeline, one module per section, regenerating every table and figure.
 
+Campaign execution scales out through :mod:`repro.engine`, which shards the
+route across worker processes while producing the bit-identical dataset of
+the serial path.
+
 Quickstart::
 
     import repro
     dataset = repro.generate_dataset(seed=42, scale=0.05)
     print(dataset.summary())
+
+    # Same dataset, generated on all cores:
+    dataset = repro.generate_dataset_parallel(seed=42, scale=0.05, workers=4)
 """
 
 from repro.campaign.runner import CampaignConfig, DriveCampaign, generate_dataset
 from repro.campaign.dataset import DriveDataset
+from repro.engine import EngineConfig, generate_dataset_parallel, run_engine
 from repro.geo.route import build_cross_country_route
 from repro.radio.operators import Operator
 from repro.radio.technology import RadioTechnology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CampaignConfig",
     "DriveCampaign",
     "DriveDataset",
+    "EngineConfig",
     "generate_dataset",
+    "generate_dataset_parallel",
+    "run_engine",
     "build_cross_country_route",
     "Operator",
     "RadioTechnology",

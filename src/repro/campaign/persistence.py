@@ -4,12 +4,20 @@ The paper's dataset is published as files [8]; an adopted open-source
 release needs the same.  We serialise to gzipped JSON-lines — one record per
 line, one section header per record family — which is diffable, streamable,
 and keeps enum round-trips explicit.
+
+Saves are **atomic** (written to a sibling temp file, then ``os.replace``'d
+into place) so an interrupted save can never leave a truncated gzip behind,
+and **byte-reproducible** (the gzip mtime field is pinned to zero) so equal
+datasets serialise to equal bytes — both properties the engine's shard
+checkpoints and determinism tests rely on.
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
+import os
 import pathlib
 
 from repro.campaign.dataset import (
@@ -222,7 +230,13 @@ _SECTIONS = {
 
 
 def save_dataset(dataset: DriveDataset, path: str | pathlib.Path) -> None:
-    """Write a dataset as gzipped JSON-lines."""
+    """Write a dataset as gzipped JSON-lines, atomically.
+
+    The file appears at ``path`` only once fully written and flushed:
+    writes go to a unique ``.tmp`` sibling which is then ``os.replace``'d
+    over the destination (atomic on POSIX).  A crash mid-save leaves any
+    previous file at ``path`` untouched.
+    """
     path = pathlib.Path(path)
     header = {
         "format": FORMAT_VERSION,
@@ -234,11 +248,23 @@ def save_dataset(dataset: DriveDataset, path: str | pathlib.Path) -> None:
         },
         "connected_cells": {op.name: n for op, n in dataset.connected_cells.items()},
     }
-    with gzip.open(path, "wt", encoding="utf-8") as fh:
-        fh.write(json.dumps({"kind": "header", **header}) + "\n")
-        for kind, (attr, encode, _decode) in _SECTIONS.items():
-            for record in getattr(dataset, attr):
-                fh.write(json.dumps({"kind": kind, **encode(record)}) + "\n")
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as raw:
+            # mtime=0 and an empty FNAME pin the gzip header: identical
+            # datasets produce identical bytes, enabling cheap equality
+            # checks (the default embeds the temp file's name and mtime).
+            with gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0) as gz:
+                with io.TextIOWrapper(gz, encoding="utf-8") as fh:
+                    fh.write(json.dumps({"kind": "header", **header}) + "\n")
+                    for kind, (attr, encode, _decode) in _SECTIONS.items():
+                        for record in getattr(dataset, attr):
+                            fh.write(json.dumps({"kind": kind, **encode(record)}) + "\n")
+            raw.flush()
+            os.fsync(raw.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_dataset(path: str | pathlib.Path) -> DriveDataset:

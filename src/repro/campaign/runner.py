@@ -49,12 +49,66 @@ from repro.radio.operators import Operator
 from repro.rng import RngFactory
 from repro.radio.technology import HIGH_THROUGHPUT_TECHS
 
-__all__ = ["CampaignConfig", "DriveCampaign", "generate_dataset"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignWindow",
+    "DriveCampaign",
+    "generate_dataset",
+    "NOMINAL_CRUISE_MPS",
+]
 
 #: Factor applied to the sampled (unloaded) RTT to approximate the RTT a
 #: saturating TCP flow experiences (self-induced queueing).
 _TCP_RTT_INFLATION = 1.3
 _TCP_RTT_FLOOR_MS = 15.0
+
+#: Nominal cruise speed used to give each route window a deterministic
+#: wall-clock origin (matches the ≈60 mph assumption of the duty-cycle
+#: fast-forward).
+NOMINAL_CRUISE_MPS = 27.0
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignWindow:
+    """One contiguous route span executed as an independent shard.
+
+    The sharded execution engine (:mod:`repro.engine`) splits the LA→Boston
+    route into windows and runs one :class:`DriveCampaign` per window.  A
+    windowed campaign starts at ``start_m`` with a deterministic clock origin
+    (``start_m / NOMINAL_CRUISE_MPS``), runs measurement cycles until it
+    crosses ``end_m``, and visits only the static-baseline cities that fall
+    inside its span.  Passive coverage is *not* recorded per window — the
+    engine runs the trip-wide handover-logger as its own shard.
+
+    ``overrun_m`` is how far past ``end_m`` the window's radio deployment is
+    built: the last cycle of a window may legitimately overrun the boundary,
+    and its ticks still need zones to camp on.
+    """
+
+    index: int
+    start_m: float
+    end_m: float
+    overrun_m: float
+    #: Base added to every locally sequential test id, giving each window a
+    #: disjoint, deterministic id namespace in the merged dataset.
+    test_id_base: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_m < self.end_m:
+            raise CampaignError(
+                f"invalid window span [{self.start_m}, {self.end_m})"
+            )
+        if self.overrun_m < 0.0:
+            raise CampaignError("overrun_m must be non-negative")
+
+    @property
+    def start_time_s(self) -> float:
+        """Deterministic wall-clock origin of this window."""
+        return self.start_m / NOMINAL_CRUISE_MPS
+
+    @property
+    def length_m(self) -> float:
+        return self.end_m - self.start_m
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +152,9 @@ class DriveCampaign:
         config: CampaignConfig | None = None,
         route: Route | None = None,
         policy_profiles: "dict[Operator, PolicyProfile] | None" = None,
+        *,
+        window: CampaignWindow | None = None,
+        rng_factory: RngFactory | None = None,
     ) -> None:
         """Set up the campaign.
 
@@ -107,24 +164,40 @@ class DriveCampaign:
             Optional per-operator policy overrides (ablations: e.g. a
             no-uplink-demotion world).  Operators not in the mapping keep
             their default profile.
+        window:
+            Restrict the campaign to one route span (see
+            :class:`CampaignWindow`).  ``None`` runs the whole route in one
+            process — the classic single-shot mode.
+        rng_factory:
+            Override the random-substream factory.  The engine passes each
+            window ``RngFactory(seed).shard(window.index)`` so shard draws
+            are independent of executor topology.
         """
         self.config = config or CampaignConfig()
         self.route = route or build_cross_country_route()
-        self._rngs = RngFactory(seed=self.config.seed)
+        self.window = window
+        self._rngs = rng_factory or RngFactory(seed=self.config.seed)
         self._servers = ServerRegistry(self.route)
         self._speed = SpeedProfile(self._rngs.stream("speed"))
         self._sessions: dict[Operator, UESession] = {}
+        total = self.route.total_length_m
+        span_start = 0.0 if window is None else window.start_m
+        span_end = (
+            None if window is None else min(window.end_m + window.overrun_m, total)
+        )
         overrides = policy_profiles or {}
         for op in Operator:
             deployment = DeploymentModel.build(
-                op, self.route, self._rngs.stream(f"deploy-{op.code}")
+                op, self.route, self._rngs.stream(f"deploy-{op.code}"),
+                start_m=span_start, end_m=span_end,
             )
             self._sessions[op] = UESession(
                 op, deployment, self._rngs, policy_profile=overrides.get(op)
             )
-        self._mark_m = 0.0
-        self._time_s = 0.0
+        self._mark_m = span_start
+        self._time_s = 0.0 if window is None else window.start_time_s
         self._test_seq = 0
+        self._test_id_base = 0 if window is None else window.test_id_base
         self._dataset = DriveDataset(
             seed=self.config.seed,
             scale=self.config.scale,
@@ -134,14 +207,23 @@ class DriveCampaign:
     # -- public API --------------------------------------------------------
 
     def run(self) -> DriveDataset:
-        """Execute the campaign and return the dataset."""
-        self._record_passive_coverage()
+        """Execute the campaign (or one window of it) and return the dataset."""
+        if self.window is None:
+            self._record_passive_coverage()
         remaining_cities = [
             (self.route.city_mark_m(c.name), c.name) for c in self.route.cities
         ]
+        if self.window is not None:
+            remaining_cities = [
+                (mark, name)
+                for mark, name in remaining_cities
+                if self._city_in_window(mark)
+            ]
         remaining_cities.sort()
 
         end_m = self.route.total_length_m - 2_000.0
+        if self.window is not None:
+            end_m = min(self.window.end_m, end_m)
         while self._mark_m < end_m:
             # Static battery when we reach a city.
             while remaining_cities and remaining_cities[0][0] <= self._mark_m:
@@ -158,6 +240,30 @@ class DriveCampaign:
             if self.config.include_static:
                 self._run_static_battery(city_name)
         return self._dataset
+
+    def _city_in_window(self, city_mark_m: float) -> bool:
+        """Whether this window owns the city at ``city_mark_m``.
+
+        Windows own cities half-open ``[start, end)``; the final window (the
+        one whose end reaches the route terminus) also owns the terminus
+        city, Boston.
+        """
+        assert self.window is not None
+        if self.window.end_m >= self.route.total_length_m - 1e-6:
+            return self.window.start_m <= city_mark_m <= self.window.end_m
+        return self.window.start_m <= city_mark_m < self.window.end_m
+
+    def connected_active_cell_counts(self) -> dict[Operator, int]:
+        """Distinct active-layer cells each operator's UE connected to.
+
+        The engine's merger sums these across windows (window spans are
+        disjoint, so their active cells are physically distinct) and adds the
+        macro-grid cells counted by the passive shard.
+        """
+        return {
+            op: len(session.handover_engine.connected_cells)
+            for op, session in self._sessions.items()
+        }
 
     # -- cycle & movement ----------------------------------------------------
 
@@ -222,7 +328,7 @@ class DriveCampaign:
 
     def _next_test_id(self) -> int:
         self._test_seq += 1
-        return self._test_seq
+        return self._test_id_base + self._test_seq
 
     def _servers_now(self, position: RoutePosition) -> dict[Operator, Server]:
         return {
@@ -729,6 +835,11 @@ def generate_dataset(
 ) -> DriveDataset:
     """Generate a full campaign dataset — the library's main entry point.
 
+    Executes the canonical shard plan of :mod:`repro.engine` serially in
+    this process, so the result is bit-identical to
+    :func:`repro.engine.generate_dataset_parallel` with the same seed at any
+    worker count.
+
     Parameters
     ----------
     seed:
@@ -739,12 +850,12 @@ def generate_dataset(
     include_apps / include_static:
         Toggle the application tests and the static city baselines.
     """
-    campaign = DriveCampaign(
-        CampaignConfig(
-            seed=seed, scale=scale,
-            include_apps=include_apps, include_static=include_static,
-        )
+    # Imported here: repro.engine orchestrates this module, so a module-level
+    # import would be circular.
+    from repro.engine import generate_dataset_parallel
+
+    return generate_dataset_parallel(
+        seed=seed, scale=scale,
+        include_apps=include_apps, include_static=include_static,
+        workers=1, executor="serial",
     )
-    dataset = campaign.run()
-    campaign.finalize_connected_cells()
-    return dataset

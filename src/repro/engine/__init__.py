@@ -1,0 +1,382 @@
+"""repro.engine — sharded, fault-tolerant campaign execution.
+
+The single-process :class:`~repro.campaign.runner.DriveCampaign` regenerates
+the paper's 8-day, 5711 km dataset one tick at a time; this package runs the
+same campaign as a set of independent **route shards**:
+
+1. the :mod:`planner <repro.engine.planner>` splits the route into canonical
+   distance windows — a pure function of the campaign config, never of the
+   executor topology;
+2. :mod:`workers <repro.engine.worker>` execute each window with a
+   deterministic per-shard RNG substream (``RngFactory(seed).shard(i)``), in
+   parallel processes or serially in-process;
+3. the :mod:`merger <repro.engine.merge>` stitches shard outputs back into
+   one :class:`~repro.campaign.dataset.DriveDataset` in canonical order.
+
+The same root seed therefore yields a **bit-identical dataset for any shard
+batching or worker count** — including the serial path used by
+:func:`repro.generate_dataset`.  Robustness rides on top: per-shard
+:mod:`checkpoints <repro.engine.checkpoint>` let an interrupted run resume
+from completed shards, failed workers are retried with bounded budgets (hard
+worker deaths rebuild the process pool), and every run emits an
+:class:`~repro.engine.metrics.EngineReport`.
+
+Quickstart::
+
+    from repro.engine import generate_dataset_parallel
+    dataset = generate_dataset_parallel(seed=42, scale=0.2, workers=4)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.campaign.dataset import DriveDataset
+from repro.campaign.runner import CampaignConfig, CampaignWindow
+from repro.campaign.validation import validate_dataset
+from repro.engine.checkpoint import CheckpointStore, config_fingerprint
+from repro.engine.merge import merge_shard_results
+from repro.engine.metrics import EngineReport, ShardMetrics
+from repro.engine.planner import (
+    PASSIVE_SHARD_INDEX,
+    PlannerParams,
+    ShardPlan,
+    plan_campaign,
+)
+from repro.engine.worker import (
+    FaultSpec,
+    ShardResult,
+    ShardTask,
+    execute_batch,
+    with_attempt,
+)
+from repro.errors import EngineError
+from repro.geo.route import Route, build_cross_country_route
+
+__all__ = [
+    "EngineConfig",
+    "EngineReport",
+    "FaultSpec",
+    "PlannerParams",
+    "ShardPlan",
+    "generate_dataset_parallel",
+    "plan_campaign",
+    "run_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of one engine run."""
+
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    #: Worker processes; ``None`` uses the machine's CPU count.
+    workers: int | None = None
+    #: Number of execution batches the windows are grouped into; ``None``
+    #: submits every window as its own batch.  Pure scheduling knob — the
+    #: merged dataset is identical for every value.
+    shards: int | None = None
+    #: ``"process"`` (ProcessPoolExecutor) or ``"serial"`` (in-process).
+    executor: str = "process"
+    planner: PlannerParams = field(default_factory=PlannerParams)
+    #: Directory for per-shard checkpoints; ``None`` disables them.
+    checkpoint_dir: str | None = None
+    #: Retries per shard batch before the run is abandoned.
+    max_retries: int = 2
+    #: Where to write the JSON :class:`EngineReport`; ``None`` skips it.
+    report_path: str | None = None
+    #: Run :func:`validate_dataset` on the merged result and raise on issues.
+    validate: bool = False
+    #: Testing hook: per-window injected faults (see :class:`FaultSpec`).
+    inject_faults: Mapping[int, FaultSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("process", "serial"):
+            raise EngineError(f"unknown executor {self.executor!r}")
+        if self.workers is not None and self.workers < 1:
+            raise EngineError("workers must be >= 1")
+        if self.max_retries < 0:
+            raise EngineError("max_retries must be >= 0")
+
+
+# -- task construction -------------------------------------------------------
+
+
+def _build_tasks(
+    config: EngineConfig,
+    plan: ShardPlan,
+    pending_windows: list[CampaignWindow],
+    passive_pending: bool,
+    fingerprint: str,
+    route: Route | None,
+) -> list[tuple[ShardTask, ...]]:
+    """Group pending work into submission batches (passive shard first)."""
+
+    def task(window: CampaignWindow | None) -> ShardTask:
+        index = PASSIVE_SHARD_INDEX if window is None else window.index
+        return ShardTask(
+            config=config.campaign,
+            window=window,
+            checkpoint_dir=config.checkpoint_dir,
+            fingerprint=fingerprint,
+            fault=config.inject_faults.get(index),
+            parent_pid=os.getpid(),
+            route=route,
+        )
+
+    batches: list[tuple[ShardTask, ...]] = []
+    if passive_pending:
+        batches.append((task(None),))
+    window_plan = ShardPlan(
+        windows=tuple(pending_windows),
+        nominal_cycle_s=plan.nominal_cycle_s,
+        window_km=plan.window_km,
+    )
+    if pending_windows:
+        batches.extend(
+            tuple(task(w) for w in group)
+            for group in window_plan.batches(config.shards)
+        )
+    return batches
+
+
+# -- executors ---------------------------------------------------------------
+
+
+def _run_serial(
+    batches: list[tuple[ShardTask, ...]],
+    config: EngineConfig,
+    results: dict[int, ShardResult],
+    retries: dict[int, int],
+) -> None:
+    for batch in batches:
+        attempt = 0
+        while True:
+            try:
+                outcomes = execute_batch(with_attempt(batch, attempt))
+            except Exception as exc:
+                attempt += 1
+                if attempt > config.max_retries:
+                    raise EngineError(
+                        f"shard batch {[t.index for t in batch]} failed after "
+                        f"{attempt} attempts: {exc}",
+                        shard_index=batch[0].index,
+                    ) from exc
+                continue
+            for outcome in outcomes:
+                results[outcome.index] = outcome
+                retries[outcome.index] = attempt
+            break
+
+
+def _run_process(
+    batches: list[tuple[ShardTask, ...]],
+    config: EngineConfig,
+    workers: int,
+    results: dict[int, ShardResult],
+    retries: dict[int, int],
+    report: EngineReport,
+) -> None:
+    outstanding: dict[int, tuple[ShardTask, ...]] = dict(enumerate(batches))
+    attempts: dict[int, int] = {key: 0 for key in outstanding}
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def record(key: int, outcomes: list[ShardResult]) -> None:
+        for outcome in outcomes:
+            results[outcome.index] = outcome
+            retries[outcome.index] = attempts[key]
+        del outstanding[key]
+
+    def charge(key: int, exc: BaseException) -> None:
+        attempts[key] += 1
+        if attempts[key] > config.max_retries:
+            batch = outstanding[key]
+            raise EngineError(
+                f"shard batch {[t.index for t in batch]} failed after "
+                f"{attempts[key]} attempts: {exc}",
+                shard_index=batch[0].index,
+            ) from exc
+
+    try:
+        while outstanding:
+            futures = {
+                pool.submit(execute_batch, with_attempt(batch, attempts[key])): key
+                for key, batch in outstanding.items()
+            }
+            pool_broken = False
+            not_done = set(futures)
+            while not_done and not pool_broken:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    try:
+                        record(key, future.result())
+                    except BrokenProcessPool as exc:
+                        # The pool is unusable: salvage nothing more from
+                        # this round, charge the still-unfinished batches
+                        # one attempt each, and rebuild the pool.
+                        pool_broken = True
+                        broken_exc = exc
+            if pool_broken:
+                # Futures that finished before the crash may still hold
+                # usable results — keep them, retry only the rest.
+                for future, key in futures.items():
+                    if key not in outstanding or not future.done():
+                        continue
+                    try:
+                        record(key, future.result())
+                    except BaseException:
+                        pass
+                for key in list(outstanding):
+                    charge(key, broken_exc)
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                report.pool_rebuilds += 1
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def run_engine(
+    config: EngineConfig, route: Route | None = None
+) -> tuple[DriveDataset, EngineReport]:
+    """Execute a campaign under the sharded engine.
+
+    Returns the merged dataset and the execution report.  Raises
+    :class:`EngineError` when a shard exhausts its retry budget or (with
+    ``config.validate``) the merged dataset violates an invariant.
+    """
+    started = time.perf_counter()
+    campaign_route = route or build_cross_country_route()
+    plan = plan_campaign(config.campaign, campaign_route, config.planner)
+    fingerprint = config_fingerprint(config.campaign, plan)
+
+    results: dict[int, ShardResult] = {}
+    retries: dict[int, int] = {}
+    if config.checkpoint_dir is not None:
+        store = CheckpointStore(config.checkpoint_dir, fingerprint)
+        indices = [PASSIVE_SHARD_INDEX] + [w.index for w in plan.windows]
+        results.update(store.load_all(indices))
+        retries.update({index: 0 for index in results})
+
+    pending = [w for w in plan.windows if w.index not in results]
+    passive_pending = PASSIVE_SHARD_INDEX not in results
+    batches = _build_tasks(
+        config, plan, pending, passive_pending, fingerprint,
+        route if route is not None else None,
+    )
+
+    workers = config.workers or os.cpu_count() or 1
+    executor = config.executor
+    if executor == "process" and batches:
+        try:
+            _probe = ProcessPoolExecutor(max_workers=1)
+            _probe.shutdown(wait=False)
+        except (OSError, ValueError, NotImplementedError):
+            executor = "serial"  # sandboxed platforms without process pools
+
+    report = EngineReport(
+        executor=executor,
+        workers=workers if executor == "process" else 1,
+        n_windows=plan.n_windows,
+        n_batches=len(batches),
+    )
+
+    if executor == "serial" or not batches:
+        _run_serial(batches, config, results, retries)
+    else:
+        _run_process(batches, config, workers, results, retries, report)
+
+    merge_started = time.perf_counter()
+    dataset = merge_shard_results(
+        config.campaign, plan, results, campaign_route.total_length_km
+    )
+    report.merge_s = time.perf_counter() - merge_started
+
+    window_span = {w.index: (w.start_m, w.end_m) for w in plan.windows}
+    window_span[PASSIVE_SHARD_INDEX] = (0.0, campaign_route.total_length_m)
+    report.shards = [
+        ShardMetrics(
+            index=index,
+            start_km=window_span[index][0] / 1000.0,
+            end_km=window_span[index][1] / 1000.0,
+            wall_s=result.wall_s,
+            records=result.records,
+            retries=retries.get(index, 0),
+            from_checkpoint=result.from_checkpoint,
+        )
+        for index, result in sorted(results.items())
+    ]
+    report.total_wall_s = time.perf_counter() - started
+
+    if config.validate:
+        outcome = validate_dataset(dataset)
+        report.validated = True
+        if not outcome.ok:
+            raise EngineError(
+                "merged dataset failed validation: "
+                + "; ".join(str(issue) for issue in outcome.issues[:5])
+            )
+    if config.report_path is not None:
+        report.save(config.report_path)
+    return dataset, report
+
+
+def generate_dataset_parallel(
+    seed: int = 42,
+    scale: float = 1.0,
+    include_apps: bool = True,
+    include_static: bool = True,
+    *,
+    workers: int | None = None,
+    shards: int | None = None,
+    executor: str = "process",
+    checkpoint_dir: str | None = None,
+    max_retries: int = 2,
+    report_path: str | None = None,
+    validate: bool = False,
+    window_km: float | None = None,
+) -> DriveDataset:
+    """Generate a campaign dataset on all available cores.
+
+    Drop-in parallel counterpart of :func:`repro.generate_dataset`: the same
+    ``seed`` and ``scale`` produce a bit-identical dataset at any ``workers``
+    or ``shards`` setting, because shard decomposition and per-shard RNG
+    substreams depend only on the campaign configuration.
+
+    Parameters beyond the :func:`repro.generate_dataset` quartet:
+
+    workers / shards / executor:
+        Execution topology (see :class:`EngineConfig`) — result-neutral.
+    checkpoint_dir:
+        Enables per-shard checkpoints; rerunning with the same directory and
+        configuration resumes from completed shards.
+    max_retries / report_path / validate:
+        Fault-tolerance budget, JSON report output, and post-merge
+        validation.
+    window_km:
+        Override the planner's adaptive shard window length.
+    """
+    config = EngineConfig(
+        campaign=CampaignConfig(
+            seed=seed, scale=scale,
+            include_apps=include_apps, include_static=include_static,
+        ),
+        workers=workers,
+        shards=shards,
+        executor=executor,
+        planner=PlannerParams(window_km=window_km),
+        checkpoint_dir=checkpoint_dir,
+        max_retries=max_retries,
+        report_path=report_path,
+        validate=validate,
+    )
+    dataset, _report = run_engine(config)
+    return dataset

@@ -1,0 +1,149 @@
+"""Per-shard checkpointing: resume an interrupted campaign from disk.
+
+Each completed shard is persisted as two sibling files in the checkpoint
+directory:
+
+* ``shard-<index>.ds.gz`` — the shard-local dataset, in the exact gzipped
+  JSON-lines format of :mod:`repro.campaign.persistence` (atomic,
+  byte-reproducible);
+* ``shard-<index>.meta.json`` — a small sidecar carrying the configuration
+  fingerprint, the cell-count statistics that live outside the dataset, and
+  bookkeeping (wall time, record count).
+
+On start-up the engine loads every checkpoint whose fingerprint matches the
+current run — seed, scale, cycle plan, and the exact window decomposition
+all participate in the fingerprint, so a checkpoint written by a different
+configuration (or an incompatible engine version) is silently ignored and
+the shard recomputed.  Corrupt or truncated files are likewise treated as
+absent: a checkpoint can make a run faster, never wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+from repro.campaign.persistence import FORMAT_VERSION, load_dataset, save_dataset
+from repro.campaign.runner import CampaignConfig
+from repro.engine.planner import PASSIVE_SHARD_INDEX, ShardPlan
+from repro.engine.worker import ShardResult
+from repro.errors import ReproError
+from repro.radio.operators import Operator
+
+__all__ = ["CheckpointStore", "config_fingerprint"]
+
+#: Bump when the shard execution semantics change in a way that makes old
+#: checkpoints unmergeable.
+ENGINE_CHECKPOINT_VERSION = 1
+
+_OP = {op.name: op for op in Operator}
+
+
+def config_fingerprint(config: CampaignConfig, plan: ShardPlan) -> str:
+    """Digest identifying the exact computation a checkpoint belongs to."""
+    payload = {
+        "engine_version": ENGINE_CHECKPOINT_VERSION,
+        "format": FORMAT_VERSION,
+        "seed": config.seed,
+        "scale": config.scale,
+        "tick_s": config.tick_s,
+        "include_apps": config.include_apps,
+        "include_static": config.include_static,
+        "video_duration_s": config.video_duration_s,
+        "gaming_duration_s": config.gaming_duration_s,
+        "inter_test_gap_s": config.inter_test_gap_s,
+        "cycle": [t.name for t in config.cycle.tests],
+        "windows": [
+            [w.index, round(w.start_m, 3), round(w.end_m, 3), round(w.overrun_m, 3)]
+            for w in plan.windows
+        ],
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Reads and writes per-shard checkpoint files in one directory."""
+
+    def __init__(self, directory: str | os.PathLike, fingerprint: str) -> None:
+        self.directory = pathlib.Path(directory)
+        self.fingerprint = fingerprint
+
+    # -- paths ------------------------------------------------------------
+
+    @staticmethod
+    def _stem(index: int) -> str:
+        return "shard-passive" if index == PASSIVE_SHARD_INDEX else f"shard-{index:04d}"
+
+    def dataset_path(self, index: int) -> pathlib.Path:
+        return self.directory / f"{self._stem(index)}.ds.gz"
+
+    def meta_path(self, index: int) -> pathlib.Path:
+        return self.directory / f"{self._stem(index)}.meta.json"
+
+    # -- write ------------------------------------------------------------
+
+    def store(self, result: ShardResult) -> None:
+        """Persist one shard result; both files are written atomically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        save_dataset(result.dataset, self.dataset_path(result.index))
+        meta = {
+            "fingerprint": self.fingerprint,
+            "index": result.index,
+            "wall_s": result.wall_s,
+            "records": result.records,
+            "active_cells": {op.name: n for op, n in result.active_cells.items()},
+            "macro_cells": {op.name: n for op, n in result.macro_cells.items()},
+        }
+        path = self.meta_path(result.index)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(meta, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- read -------------------------------------------------------------
+
+    def load(self, index: int) -> ShardResult | None:
+        """Load one shard if a valid, fingerprint-matching checkpoint exists.
+
+        Any inconsistency — missing file, corrupt gzip/JSON, foreign
+        fingerprint — returns ``None`` so the engine recomputes the shard.
+        """
+        meta_path = self.meta_path(index)
+        ds_path = self.dataset_path(index)
+        try:
+            meta = json.loads(meta_path.read_text())
+            if meta.get("fingerprint") != self.fingerprint:
+                return None
+            if meta.get("index") != index:
+                return None
+            dataset = load_dataset(ds_path)
+        except (OSError, ValueError, KeyError, EOFError, ReproError):
+            return None
+        return ShardResult(
+            index=index,
+            dataset=dataset,
+            active_cells={
+                _OP[name]: n for name, n in meta.get("active_cells", {}).items()
+            },
+            macro_cells={
+                _OP[name]: n for name, n in meta.get("macro_cells", {}).items()
+            },
+            wall_s=float(meta.get("wall_s", 0.0)),
+            from_checkpoint=True,
+        )
+
+    def load_all(self, indices: list[int]) -> dict[int, ShardResult]:
+        """Load every valid checkpoint among ``indices``."""
+        found: dict[int, ShardResult] = {}
+        if not self.directory.is_dir():
+            return found
+        for index in indices:
+            result = self.load(index)
+            if result is not None:
+                found[index] = result
+        return found

@@ -1,0 +1,114 @@
+"""Engine observability: per-shard execution metrics and the run report.
+
+An :class:`EngineReport` is produced by every engine run.  It records, per
+shard: the route span, wall time, record count, retry count, and whether the
+shard was served from a checkpoint — plus run-level aggregates (worker
+utilisation, pool rebuilds after hard worker deaths, merge time).  The
+report serialises to JSON so campaign farms can scrape it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+__all__ = ["ShardMetrics", "EngineReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMetrics:
+    """Execution statistics of one shard."""
+
+    index: int
+    start_km: float
+    end_km: float
+    wall_s: float
+    records: int
+    retries: int
+    from_checkpoint: bool
+
+    def to_obj(self) -> dict:
+        return {
+            "index": self.index,
+            "start_km": round(self.start_km, 3),
+            "end_km": round(self.end_km, 3),
+            "wall_s": round(self.wall_s, 4),
+            "records": self.records,
+            "retries": self.retries,
+            "from_checkpoint": self.from_checkpoint,
+        }
+
+
+@dataclass
+class EngineReport:
+    """Everything observable about one engine run."""
+
+    executor: str
+    workers: int
+    n_windows: int
+    n_batches: int
+    shards: list[ShardMetrics] = field(default_factory=list)
+    total_wall_s: float = 0.0
+    merge_s: float = 0.0
+    pool_rebuilds: int = 0
+    validated: bool = False
+
+    @property
+    def total_records(self) -> int:
+        return sum(s.records for s in self.shards)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self.shards)
+
+    @property
+    def checkpoint_hits(self) -> int:
+        return sum(1 for s in self.shards if s.from_checkpoint)
+
+    @property
+    def shard_wall_s(self) -> float:
+        """Summed per-shard compute time (excludes checkpointed shards)."""
+        return sum(s.wall_s for s in self.shards if not s.from_checkpoint)
+
+    def worker_utilisation(self) -> float:
+        """Fraction of worker capacity kept busy by shard compute.
+
+        ``shard_wall / (workers × total_wall)``: 1.0 means perfectly packed
+        workers, low values mean stragglers or per-run overhead dominate.
+        """
+        if self.total_wall_s <= 0.0 or self.workers <= 0:
+            return 0.0
+        return min(self.shard_wall_s / (self.workers * self.total_wall_s), 1.0)
+
+    def to_obj(self) -> dict:
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "n_windows": self.n_windows,
+            "n_batches": self.n_batches,
+            "total_wall_s": round(self.total_wall_s, 4),
+            "merge_s": round(self.merge_s, 4),
+            "pool_rebuilds": self.pool_rebuilds,
+            "validated": self.validated,
+            "total_records": self.total_records,
+            "total_retries": self.total_retries,
+            "checkpoint_hits": self.checkpoint_hits,
+            "worker_utilisation": round(self.worker_utilisation(), 4),
+            "shards": [s.to_obj() for s in self.shards],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_obj(), indent=2, sort_keys=True)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the report as JSON, atomically."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(self.to_json() + "\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)

@@ -38,3 +38,16 @@ class CampaignError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was asked to run on unsuitable or empty data."""
+
+
+class EngineError(ReproError):
+    """The sharded execution engine failed to plan, run, or merge a campaign.
+
+    Raised when a shard exhausts its retry budget, a checkpoint is corrupt in
+    a way that cannot be recovered by recomputation, or the merged dataset
+    fails validation.  Carries the failing shard's index when one is known.
+    """
+
+    def __init__(self, message: str, shard_index: int | None = None) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index

@@ -325,6 +325,9 @@ class DeploymentModel:
         route: Route,
         rng: np.random.Generator,
         tech_mix: dict[RegionType, TechMix] | None = None,
+        *,
+        start_m: float = 0.0,
+        end_m: float | None = None,
     ) -> "DeploymentModel":
         """Generate the operator's deployment for ``route``.
 
@@ -340,9 +343,21 @@ class DeploymentModel:
         tech_mix:
             Optional override of the per-region best-technology mix,
             bypassing :data:`DEFAULT_TECH_MIX` (used for ablations).
+        start_m / end_m:
+            Optional route span to deploy, in route meters.  The sharded
+            execution engine builds each route shard's deployment only over
+            its own window (plus an overrun margin), so the total deployment
+            work across all shards stays proportional to the route length.
+            Defaults to the full route.
         """
-        zones = cls._build_active_zones(operator, route, rng, tech_mix)
-        macro = cls._build_macro_zones(operator, route, rng)
+        if end_m is None:
+            end_m = route.total_length_m
+        if not 0.0 <= start_m < end_m:
+            raise DeploymentError(
+                f"invalid deployment span [{start_m}, {end_m})"
+            )
+        zones = cls._build_active_zones(operator, route, rng, tech_mix, start_m, end_m)
+        macro = cls._build_macro_zones(operator, route, rng, start_m, end_m)
         return cls(operator=operator, zones=zones, macro_zones=macro)
 
     @classmethod
@@ -352,12 +367,14 @@ class DeploymentModel:
         route: Route,
         rng: np.random.Generator,
         tech_mix: dict[RegionType, TechMix] | None,
+        start_m: float,
+        span_end_m: float,
     ) -> list[DeploymentZone]:
         zones: list[DeploymentZone] = []
         cell_seq = 0
-        mark = 0.0
+        mark = start_m
         index = 0
-        total = route.total_length_m
+        total = span_end_m
         while mark < total:
             pos = route.position_at(min(mark, total))
             region = pos.region
@@ -411,13 +428,18 @@ class DeploymentModel:
 
     @classmethod
     def _build_macro_zones(
-        cls, operator: Operator, route: Route, rng: np.random.Generator
+        cls,
+        operator: Operator,
+        route: Route,
+        rng: np.random.Generator,
+        start_m: float = 0.0,
+        span_end_m: float | None = None,
     ) -> list[DeploymentZone]:
         zones: list[DeploymentZone] = []
         cell_seq = 1_000_000  # disjoint id space from the active layer
-        mark = 0.0
+        mark = start_m
         index = 0
-        total = route.total_length_m
+        total = route.total_length_m if span_end_m is None else span_end_m
         median = _MACRO_ZONE_MEDIAN_M[operator]
         while mark < total:
             pos = route.position_at(min(mark, total))

@@ -98,6 +98,19 @@ class RngFactory:
         """Derive a child factory whose streams are independent of ours."""
         return RngFactory(seed=(self.seed * 1000003 + _name_to_key(name)) % (2**63))
 
+    def shard(self, index: int) -> "RngFactory":
+        """Derive the canonical per-shard child factory.
+
+        The sharded execution engine gives every route shard its own factory
+        so that a shard's draws depend only on ``(root seed, shard index)`` —
+        never on how many workers run, in what order shards complete, or how
+        shards are batched onto workers.  That is what makes the merged
+        dataset bit-identical for any executor configuration.
+        """
+        if index < 0:
+            raise ValueError(f"shard index must be non-negative, got {index}")
+        return self.child(f"shard-{index:06d}")
+
 
 def default_rng(seed: int = 0) -> RngFactory:
     """Convenience constructor mirroring :func:`numpy.random.default_rng`."""

@@ -47,3 +47,41 @@ def bare_dataset():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)
+
+
+# -- engine fixtures ---------------------------------------------------------
+
+#: One shared engine configuration for the determinism / fault-tolerance
+#: tests: small enough to run in a few seconds, large enough for several
+#: shard windows.
+ENGINE_CAMPAIGN = CampaignConfig(
+    seed=42, scale=0.004, include_apps=False, include_static=False
+)
+ENGINE_WINDOW_KM = 600.0
+
+
+def engine_dataset_bytes(ds, tmp_dir) -> bytes:
+    """Canonical serialised form of a dataset (saves are byte-reproducible)."""
+    from repro.campaign.persistence import save_dataset
+
+    path = tmp_dir / "digest.jsonl.gz"
+    save_dataset(ds, path)
+    data = path.read_bytes()
+    path.unlink()
+    return data
+
+
+@pytest.fixture(scope="session")
+def engine_baseline(tmp_path_factory):
+    """Serial single-batch engine run of ENGINE_CAMPAIGN → (dataset, bytes)."""
+    from repro.engine import EngineConfig, PlannerParams, run_engine
+
+    ds, _report = run_engine(
+        EngineConfig(
+            campaign=ENGINE_CAMPAIGN,
+            executor="serial",
+            planner=PlannerParams(window_km=ENGINE_WINDOW_KM),
+        )
+    )
+    tmp = tmp_path_factory.mktemp("engine-baseline")
+    return ds, engine_dataset_bytes(ds, tmp)

@@ -74,6 +74,43 @@ class TestAppRunsRoundTrip:
         assert loaded.gaming_runs[0] == dataset.gaming_runs[0]
 
 
+class TestAtomicSave:
+    def test_byte_reproducible(self, bare_dataset, tmp_path):
+        a = tmp_path / "a.jsonl.gz"
+        b = tmp_path / "b.jsonl.gz"
+        save_dataset(bare_dataset, a)
+        save_dataset(bare_dataset, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_overwrite_is_atomic(self, bare_dataset, tmp_path, monkeypatch):
+        """A crash mid-write must leave an existing file untouched."""
+        path = tmp_path / "dataset.jsonl.gz"
+        save_dataset(bare_dataset, path)
+        good = path.read_bytes()
+
+        import repro.campaign.persistence as persistence
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence.os, "fsync", boom)
+        with pytest.raises(OSError):
+            save_dataset(bare_dataset, path)
+        assert path.read_bytes() == good
+
+    def test_no_temp_file_left_behind(self, bare_dataset, tmp_path, monkeypatch):
+        path = tmp_path / "dataset.jsonl.gz"
+        import repro.campaign.persistence as persistence
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence.os, "fsync", boom)
+        with pytest.raises(OSError):
+            save_dataset(bare_dataset, path)
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestErrorHandling:
     def test_not_a_dataset(self, tmp_path):
         path = tmp_path / "junk.gz"

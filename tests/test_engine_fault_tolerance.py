@@ -1,0 +1,191 @@
+"""Engine fault tolerance: retries, hard worker deaths, checkpoint resume.
+
+Every recovery path must converge on the byte-identical dataset of a clean
+run — fault tolerance may cost time, never correctness.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from tests.conftest import ENGINE_CAMPAIGN, ENGINE_WINDOW_KM, engine_dataset_bytes
+from repro.campaign.runner import CampaignConfig
+from repro.engine import (
+    EngineConfig,
+    FaultSpec,
+    PlannerParams,
+    run_engine,
+)
+from repro.engine.checkpoint import CheckpointStore
+from repro.errors import EngineError
+
+PLANNER = PlannerParams(window_km=ENGINE_WINDOW_KM)
+
+
+def engine_config(**overrides):
+    return EngineConfig(campaign=ENGINE_CAMPAIGN, planner=PLANNER, **overrides)
+
+
+class TestRetries:
+    def test_transient_fault_recovers(self, engine_baseline, tmp_path):
+        _, base = engine_baseline
+        ds, report = run_engine(
+            engine_config(
+                executor="serial",
+                max_retries=2,
+                inject_faults={1: FaultSpec(times=2, kind="raise")},
+            )
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.total_retries >= 2
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(EngineError) as excinfo:
+            run_engine(
+                engine_config(
+                    executor="serial",
+                    max_retries=1,
+                    inject_faults={2: FaultSpec(times=5, kind="raise")},
+                )
+            )
+        assert excinfo.value.shard_index == 2
+
+    def test_invalid_fault_spec(self):
+        with pytest.raises(EngineError):
+            FaultSpec(kind="segfault")
+        with pytest.raises(EngineError):
+            FaultSpec(times=0)
+
+
+class TestWorkerDeath:
+    def test_pool_rebuilt_after_hard_crash(self, engine_baseline, tmp_path):
+        """A worker killed mid-shard (os._exit) must not poison the run."""
+        _, base = engine_baseline
+        ds, report = run_engine(
+            engine_config(
+                executor="process",
+                workers=2,
+                max_retries=2,
+                inject_faults={2: FaultSpec(times=1, kind="exit")},
+            )
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        if report.executor == "process":  # platform may lack process pools
+            assert report.pool_rebuilds >= 1
+
+    def test_exit_fault_degrades_to_raise_in_process(self, engine_baseline, tmp_path):
+        """Under the serial executor the kill becomes a retryable raise."""
+        _, base = engine_baseline
+        ds, report = run_engine(
+            engine_config(
+                executor="serial",
+                max_retries=1,
+                inject_faults={0: FaultSpec(times=1, kind="exit")},
+            )
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.total_retries >= 1
+
+
+class TestCheckpointResume:
+    def test_resume_after_failed_run(self, engine_baseline, tmp_path):
+        _, base = engine_baseline
+        ckpt = tmp_path / "ckpt"
+
+        # First run dies on shard 3 with no retry budget, leaving the
+        # passive shard and windows 0-2 checkpointed.
+        with pytest.raises(EngineError):
+            run_engine(
+                engine_config(
+                    executor="serial",
+                    checkpoint_dir=str(ckpt),
+                    max_retries=0,
+                    inject_faults={3: FaultSpec(times=1, kind="raise")},
+                )
+            )
+        stored = sorted(p.name for p in ckpt.glob("*.ds.gz"))
+        assert "shard-passive.ds.gz" in stored
+        assert "shard-0000.ds.gz" in stored
+        assert "shard-0003.ds.gz" not in stored
+
+        # Second run resumes from the checkpoints and completes cleanly.
+        ds, report = run_engine(
+            engine_config(executor="serial", checkpoint_dir=str(ckpt))
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.checkpoint_hits == len(stored)
+        assert report.checkpoint_hits < len(report.shards)
+
+        # Third run is served fully from checkpoints.
+        ds, report = run_engine(
+            engine_config(executor="serial", checkpoint_dir=str(ckpt))
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.checkpoint_hits == len(report.shards)
+
+    def test_foreign_fingerprint_ignored(self, engine_baseline, tmp_path):
+        _, base = engine_baseline
+        ckpt = tmp_path / "ckpt"
+        other = CampaignConfig(
+            seed=ENGINE_CAMPAIGN.seed + 1,
+            scale=ENGINE_CAMPAIGN.scale,
+            include_apps=False,
+            include_static=False,
+        )
+        run_engine(
+            EngineConfig(
+                campaign=other, planner=PLANNER,
+                executor="serial", checkpoint_dir=str(ckpt),
+            )
+        )
+        # Same directory, different seed: every shard must be recomputed
+        # and the result must match the clean baseline.
+        ds, report = run_engine(
+            engine_config(executor="serial", checkpoint_dir=str(ckpt))
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.checkpoint_hits == 0
+
+    def test_corrupt_checkpoint_recomputed(self, engine_baseline, tmp_path):
+        _, base = engine_baseline
+        ckpt = tmp_path / "ckpt"
+        run_engine(engine_config(executor="serial", checkpoint_dir=str(ckpt)))
+
+        (ckpt / "shard-0001.ds.gz").write_bytes(b"not a gzip stream")
+        with gzip.open(ckpt / "shard-0002.ds.gz", "wb") as fh:
+            fh.write(b'{"kind": "header"')  # truncated JSON
+        meta = ckpt / "shard-0000.meta.json"
+        meta.write_text(json.dumps({"fingerprint": "bogus"}))
+
+        ds, report = run_engine(
+            engine_config(executor="serial", checkpoint_dir=str(ckpt))
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.checkpoint_hits == len(report.shards) - 3
+
+    def test_checkpoints_survive_mid_batch_failure(self, tmp_path):
+        """Shards checkpoint as they finish, not at batch completion."""
+        ckpt = tmp_path / "ckpt"
+        # One batch holds all windows; the fault hits the last one, so all
+        # earlier windows of the *same batch* must already be on disk.
+        with pytest.raises(EngineError):
+            run_engine(
+                engine_config(
+                    executor="serial",
+                    shards=1,
+                    checkpoint_dir=str(ckpt),
+                    max_retries=0,
+                    inject_faults={9: FaultSpec(times=1, kind="raise")},
+                )
+            )
+        stored = sorted(p.name for p in ckpt.glob("*.ds.gz"))
+        assert "shard-0008.ds.gz" in stored
+        assert "shard-0009.ds.gz" not in stored
+
+
+class TestCheckpointStore:
+    def test_load_missing_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp")
+        assert store.load(0) is None
+        assert store.load_all([0, 1, -1]) == {}
