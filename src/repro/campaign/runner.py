@@ -256,9 +256,11 @@ class DriveCampaign:
     def connected_active_cell_counts(self) -> dict[Operator, int]:
         """Distinct active-layer cells each operator's UE connected to.
 
-        The engine's merger sums these across windows (window spans are
-        disjoint, so their active cells are physically distinct) and adds the
-        macro-grid cells counted by the passive shard.
+        The engine's merger sums these across windows and adds the
+        macro-grid cells counted by the passive shard.  Window spans are
+        disjoint, but a window's last cycle can run into the ``overrun_m``
+        deployment margin past its end, so cells on a window boundary may be
+        counted by both neighbouring windows (see ``engine/merge.py``).
         """
         return {
             op: len(session.handover_engine.connected_cells)

@@ -209,6 +209,7 @@ def _run_process(
                 for key, batch in outstanding.items()
             }
             pool_broken = False
+            charged: set[int] = set()
             not_done = set(futures)
             while not_done and not pool_broken:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
@@ -222,18 +223,29 @@ def _run_process(
                         # one attempt each, and rebuild the pool.
                         pool_broken = True
                         broken_exc = exc
+                    except Exception as exc:
+                        # Soft shard failure — the worker survived, so the
+                        # pool is still usable: spend one retry and leave the
+                        # batch outstanding for the next submission round.
+                        charge(key, exc)
+                        charged.add(key)
             if pool_broken:
                 # Futures that finished before the crash may still hold
                 # usable results — keep them, retry only the rest.
                 for future, key in futures.items():
-                    if key not in outstanding or not future.done():
+                    if key not in outstanding or key in charged or not future.done():
                         continue
                     try:
                         record(key, future.result())
-                    except BaseException:
-                        pass
+                    except BaseException as exc:
+                        # Charge the batch with its real failure, not the
+                        # generic pool error, so the root cause surfaces if
+                        # the retry budget runs out.
+                        charge(key, exc)
+                        charged.add(key)
                 for key in list(outstanding):
-                    charge(key, broken_exc)
+                    if key not in charged:
+                        charge(key, broken_exc)
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = ProcessPoolExecutor(max_workers=workers)
                 report.pool_rebuilds += 1
@@ -277,9 +289,12 @@ def run_engine(
     executor = config.executor
     if executor == "process" and batches:
         try:
-            _probe = ProcessPoolExecutor(max_workers=1)
-            _probe.shutdown(wait=False)
-        except (OSError, ValueError, NotImplementedError):
+            # Run a trivial task so the probe exercises real worker spawning
+            # — with lazily-spawning start methods, merely constructing the
+            # pool can succeed on platforms where running tasks would fail.
+            with ProcessPoolExecutor(max_workers=1) as _probe:
+                _probe.submit(int).result()
+        except (OSError, ValueError, NotImplementedError, BrokenProcessPool):
             executor = "serial"  # sandboxed platforms without process pools
 
     report = EngineReport(

@@ -85,9 +85,16 @@ def merge_shard_results(
 
     passive = results[PASSIVE_SHARD_INDEX]
     merged.passive_handover_counts = dict(passive.dataset.passive_handover_counts)
-    # Window spans are disjoint stretches of road, so their active-layer
-    # cells are physically distinct: the trip-wide count is the sum across
-    # windows plus the macro anchor grid seen by the passive loggers.
+    # Trip-wide distinct-cell count: the macro anchor grid seen by the
+    # passive loggers plus the active-layer cells summed across windows.
+    # Window *spans* are disjoint, but each window's deployment extends
+    # ``overrun_m`` past its end and the final duty cycle may run into that
+    # overrun, so adjacent windows can both connect to cells covering the
+    # same boundary stretch — the sum may count such cells once per window.
+    # The over-count is deterministic (a pure function of the shard plan,
+    # identical for serial and parallel execution) and bounded by the number
+    # of window boundaries, but the count is not guaranteed to match a true
+    # single-pass drive of the whole route.
     merged.connected_cells = {
         op: passive.macro_cells.get(op, 0)
         + sum(r.active_cells.get(op, 0) for r in ordered[1:])

@@ -40,6 +40,24 @@ class TestRetries:
         assert engine_dataset_bytes(ds, tmp_path) == base
         assert report.total_retries >= 2
 
+    def test_transient_fault_recovers_process(self, engine_baseline, tmp_path):
+        """Soft (raised) worker faults must be retried under the pool too —
+        not just hard deaths: a raise must never abort the whole run while
+        retry budget remains."""
+        _, base = engine_baseline
+        ds, report = run_engine(
+            engine_config(
+                executor="process",
+                workers=2,
+                max_retries=2,
+                inject_faults={1: FaultSpec(times=2, kind="raise")},
+            )
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.total_retries >= 2
+        if report.executor == "process":  # platform may lack process pools
+            assert report.pool_rebuilds == 0
+
     def test_budget_exhaustion_raises(self):
         with pytest.raises(EngineError) as excinfo:
             run_engine(
