@@ -1,0 +1,72 @@
+"""Sweep scaling — wall time and cache leverage as the seed count grows.
+
+Runs ``repro.sweep`` cold at 1, 2, and 4 seeds over a shared cache
+directory, then once more warm at 4 seeds, and records wall time, per-sweep
+cache hit ratio, and records produced into
+``benchmarks/_reports/sweep_scaling.txt``.  Because every sweep widens the
+same cache, each cold run replays the seeds the previous one computed — the
+table shows the hit ratio climbing toward 1.0, which is the whole point of
+content-addressing shards.  The warm rerun must be served entirely from
+cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import PlannerParams
+from repro.reporting.tables import render_table
+from repro.sweep import SweepConfig, run_sweep
+
+SCALE = 0.05
+SEEDS = (41, 42, 43, 44)
+WINDOW_KM = 600.0
+
+
+def _sweep(n_seeds: int, cache_dir, report_label: str):
+    config = SweepConfig(
+        seeds=SEEDS[:n_seeds],
+        scale=SCALE,
+        include_apps=False,
+        include_static=False,
+        planner=PlannerParams(window_km=WINDOW_KM),
+        cache_dir=str(cache_dir),
+        bootstrap_samples=500,
+    )
+    started = time.perf_counter()
+    result = run_sweep(config)
+    wall = time.perf_counter() - started
+    return [
+        report_label,
+        n_seeds,
+        f"{wall:.2f}",
+        f"{result.report.cache_hit_ratio():.2f}",
+        result.report.total_records,
+    ], result
+
+
+def test_sweep_scaling(tmp_path, report):
+    cache_dir = tmp_path / "shard-cache"
+    rows = []
+    for n_seeds in (1, 2, 4):
+        row, _ = _sweep(n_seeds, cache_dir, "cold")
+        rows.append(row)
+    warm_row, warm = _sweep(len(SEEDS), cache_dir, "warm")
+    rows.append(warm_row)
+
+    report(
+        "sweep_scaling",
+        render_table(
+            ["run", "seeds", "wall (s)", "cache hit ratio", "records"],
+            rows,
+            title=(
+                f"Sweep scaling (scale={SCALE}, "
+                f"{warm.report.n_windows} windows/seed, "
+                f"{len(warm.report.statistics)} statistics with CIs)"
+            ),
+        ),
+    )
+
+    assert warm.report.cache_hit_ratio() == 1.0, "warm sweep recomputed shards"
+    assert warm.cache.stats.misses == 0
+    assert len(warm.report.statistics) >= 5

@@ -31,6 +31,7 @@ Quickstart::
 from repro.campaign.runner import CampaignConfig, DriveCampaign, generate_dataset
 from repro.campaign.dataset import DriveDataset
 from repro.engine import EngineConfig, generate_dataset_parallel, run_engine
+from repro.sweep import SweepConfig, run_sweep
 from repro.geo.route import build_cross_country_route
 from repro.radio.operators import Operator
 from repro.radio.technology import RadioTechnology
@@ -45,6 +46,8 @@ __all__ = [
     "generate_dataset",
     "generate_dataset_parallel",
     "run_engine",
+    "SweepConfig",
+    "run_sweep",
     "build_cross_country_route",
     "Operator",
     "RadioTechnology",

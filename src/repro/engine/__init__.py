@@ -21,6 +21,16 @@ from completed shards, failed workers are retried with bounded budgets (hard
 worker deaths rebuild the process pool), and every run emits an
 :class:`~repro.engine.metrics.EngineReport`.
 
+Two extension points serve multi-run drivers such as :mod:`repro.sweep`:
+
+* :func:`run_engine` accepts a **pluggable shard-result store** (e.g. the
+  content-addressed :class:`~repro.sweep.cache.ShardCache`) consulted before
+  computing a shard and fed every freshly computed result;
+* :func:`execute_jobs` is the seed-agnostic execution core — tagged batches
+  in, results out — and a :class:`WorkerPool` can be shared across many
+  calls so a 50-seed sweep reuses one process pool instead of spinning up
+  fifty.
+
 Quickstart::
 
     from repro.engine import generate_dataset_parallel
@@ -34,7 +44,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Hashable, Mapping, Protocol, Sequence
 
 from repro.campaign.dataset import DriveDataset
 from repro.campaign.runner import CampaignConfig, CampaignWindow
@@ -64,10 +74,33 @@ __all__ = [
     "FaultSpec",
     "PlannerParams",
     "ShardPlan",
+    "ShardResultStore",
+    "WorkerPool",
+    "build_task_batches",
+    "execute_jobs",
     "generate_dataset_parallel",
     "plan_campaign",
+    "process_pool_usable",
     "run_engine",
 ]
+
+
+class ShardResultStore(Protocol):
+    """A pluggable store of completed shard results.
+
+    ``load_many`` returns every shard it can replay for the given identity;
+    ``store`` is fed each freshly computed result.  Both receive the run's
+    configuration fingerprint and campaign seed, which together with the
+    shard index fully address one shard's computation.  A store may only
+    make a run faster, never wrong: anything it cannot serve verbatim it
+    must omit.
+    """
+
+    def load_many(
+        self, fingerprint: str, seed: int, indices: Sequence[int]
+    ) -> dict[int, ShardResult]: ...
+
+    def store(self, fingerprint: str, seed: int, result: ShardResult) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -107,7 +140,7 @@ class EngineConfig:
 # -- task construction -------------------------------------------------------
 
 
-def _build_tasks(
+def build_task_batches(
     config: EngineConfig,
     plan: ShardPlan,
     pending_windows: list[CampaignWindow],
@@ -147,167 +180,301 @@ def _build_tasks(
 
 # -- executors ---------------------------------------------------------------
 
+#: Memoized result of the process-pool availability probe.  One probe pool
+#: per *process*, not per engine run — a 50-seed sweep must not spawn 50
+#: throwaway pools just to learn, 50 times, what the platform supports.
+_POOL_PROBE_OK: bool | None = None
 
-def _run_serial(
-    batches: list[tuple[ShardTask, ...]],
-    config: EngineConfig,
-    results: dict[int, ShardResult],
-    retries: dict[int, int],
+
+def process_pool_usable() -> bool:
+    """Whether this platform can actually run ProcessPoolExecutor tasks.
+
+    Runs one trivial task through a single-worker pool so the probe
+    exercises real worker spawning — with lazily-spawning start methods,
+    merely constructing the pool can succeed on platforms where running
+    tasks would fail.  The verdict is memoized at module level.
+    """
+    global _POOL_PROBE_OK
+    if _POOL_PROBE_OK is None:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as probe:
+                probe.submit(int).result()
+            _POOL_PROBE_OK = True
+        except (OSError, ValueError, NotImplementedError, BrokenProcessPool):
+            _POOL_PROBE_OK = False  # sandboxed platforms without process pools
+    return _POOL_PROBE_OK
+
+
+class WorkerPool:
+    """A reusable, rebuildable process pool shared across engine calls.
+
+    The engine rebuilds the underlying ``ProcessPoolExecutor`` in place
+    after a hard worker death, so a handle stays valid across failures and
+    across any number of :func:`execute_jobs` / :func:`run_engine` calls.
+    Callers that pass their own pool keep ownership: the engine never shuts
+    down a borrowed pool, only :meth:`shutdown` (or the context manager
+    exit) does.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise EngineError("workers must be >= 1")
+        self.workers = workers
+        self.rebuilds = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live pool, created lazily on first use."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def rebuild(self) -> None:
+        """Discard a broken pool and start a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.rebuilds += 1
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+@dataclass
+class ExecutionStats:
+    """What :func:`execute_jobs` observed while draining its job list."""
+
+    #: Executor actually used ("serial" after the platform fallback).
+    executor: str
+    workers: int
+    pool_rebuilds: int = 0
+
+
+#: Callback invoked once per completed batch: ``(tag, outcomes, retries)``.
+ResultCallback = Callable[[Hashable, list[ShardResult], int], None]
+
+
+def _execute_serial(
+    jobs: Sequence[tuple[Hashable, tuple[ShardTask, ...]]],
+    max_retries: int,
+    on_result: ResultCallback,
 ) -> None:
-    for batch in batches:
+    for tag, batch in jobs:
         attempt = 0
         while True:
             try:
                 outcomes = execute_batch(with_attempt(batch, attempt))
             except Exception as exc:
                 attempt += 1
-                if attempt > config.max_retries:
+                if attempt > max_retries:
                     raise EngineError(
                         f"shard batch {[t.index for t in batch]} failed after "
                         f"{attempt} attempts: {exc}",
                         shard_index=batch[0].index,
                     ) from exc
                 continue
-            for outcome in outcomes:
-                results[outcome.index] = outcome
-                retries[outcome.index] = attempt
+            on_result(tag, outcomes, attempt)
             break
 
 
-def _run_process(
-    batches: list[tuple[ShardTask, ...]],
-    config: EngineConfig,
-    workers: int,
-    results: dict[int, ShardResult],
-    retries: dict[int, int],
-    report: EngineReport,
-) -> None:
-    outstanding: dict[int, tuple[ShardTask, ...]] = dict(enumerate(batches))
-    attempts: dict[int, int] = {key: 0 for key in outstanding}
-    pool = ProcessPoolExecutor(max_workers=workers)
+def _execute_process(
+    jobs: Sequence[tuple[Hashable, tuple[ShardTask, ...]]],
+    max_retries: int,
+    on_result: ResultCallback,
+    pool: WorkerPool,
+) -> int:
+    """Drain ``jobs`` through ``pool``; returns the number of pool rebuilds."""
+    outstanding: dict[Hashable, tuple[ShardTask, ...]] = dict(jobs)
+    if len(outstanding) != len(jobs):
+        raise EngineError("job tags must be unique")
+    attempts: dict[Hashable, int] = {tag: 0 for tag in outstanding}
+    rebuilds = 0
 
-    def record(key: int, outcomes: list[ShardResult]) -> None:
-        for outcome in outcomes:
-            results[outcome.index] = outcome
-            retries[outcome.index] = attempts[key]
-        del outstanding[key]
+    def record(tag: Hashable, outcomes: list[ShardResult]) -> None:
+        on_result(tag, outcomes, attempts[tag])
+        del outstanding[tag]
 
-    def charge(key: int, exc: BaseException) -> None:
-        attempts[key] += 1
-        if attempts[key] > config.max_retries:
-            batch = outstanding[key]
+    def charge(tag: Hashable, exc: BaseException) -> None:
+        attempts[tag] += 1
+        if attempts[tag] > max_retries:
+            batch = outstanding[tag]
             raise EngineError(
                 f"shard batch {[t.index for t in batch]} failed after "
-                f"{attempts[key]} attempts: {exc}",
+                f"{attempts[tag]} attempts: {exc}",
                 shard_index=batch[0].index,
             ) from exc
 
-    try:
-        while outstanding:
-            futures = {
-                pool.submit(execute_batch, with_attempt(batch, attempts[key])): key
-                for key, batch in outstanding.items()
-            }
-            pool_broken = False
-            charged: set[int] = set()
-            not_done = set(futures)
-            while not_done and not pool_broken:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = futures[future]
-                    try:
-                        record(key, future.result())
-                    except BrokenProcessPool as exc:
-                        # The pool is unusable: salvage nothing more from
-                        # this round, charge the still-unfinished batches
-                        # one attempt each, and rebuild the pool.
-                        pool_broken = True
-                        broken_exc = exc
-                    except Exception as exc:
-                        # Soft shard failure — the worker survived, so the
-                        # pool is still usable: spend one retry and leave the
-                        # batch outstanding for the next submission round.
-                        charge(key, exc)
-                        charged.add(key)
-            if pool_broken:
-                # Futures that finished before the crash may still hold
-                # usable results — keep them, retry only the rest.
-                for future, key in futures.items():
-                    if key not in outstanding or key in charged or not future.done():
-                        continue
-                    try:
-                        record(key, future.result())
-                    except BaseException as exc:
-                        # Charge the batch with its real failure, not the
-                        # generic pool error, so the root cause surfaces if
-                        # the retry budget runs out.
-                        charge(key, exc)
-                        charged.add(key)
-                for key in list(outstanding):
-                    if key not in charged:
-                        charge(key, broken_exc)
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=workers)
-                report.pool_rebuilds += 1
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+    while outstanding:
+        futures = {
+            pool.executor.submit(execute_batch, with_attempt(batch, attempts[tag])): tag
+            for tag, batch in outstanding.items()
+        }
+        pool_broken = False
+        charged: set[Hashable] = set()
+        not_done = set(futures)
+        while not_done and not pool_broken:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in done:
+                tag = futures[future]
+                try:
+                    record(tag, future.result())
+                except BrokenProcessPool as exc:
+                    # The pool is unusable: salvage nothing more from
+                    # this round, charge the still-unfinished batches
+                    # one attempt each, and rebuild the pool.
+                    pool_broken = True
+                    broken_exc = exc
+                except Exception as exc:
+                    # Soft shard failure — the worker survived, so the
+                    # pool is still usable: spend one retry and leave the
+                    # batch outstanding for the next submission round.
+                    charge(tag, exc)
+                    charged.add(tag)
+        if pool_broken:
+            # Futures that finished before the crash may still hold
+            # usable results — keep them, retry only the rest.
+            for future, tag in futures.items():
+                if tag not in outstanding or tag in charged or not future.done():
+                    continue
+                try:
+                    record(tag, future.result())
+                except BaseException as exc:
+                    # Charge the batch with its real failure, not the
+                    # generic pool error, so the root cause surfaces if
+                    # the retry budget runs out.
+                    charge(tag, exc)
+                    charged.add(tag)
+            for tag in list(outstanding):
+                if tag not in charged:
+                    charge(tag, broken_exc)
+            pool.rebuild()
+            rebuilds += 1
+    return rebuilds
+
+
+def execute_jobs(
+    jobs: Sequence[tuple[Hashable, tuple[ShardTask, ...]]],
+    on_result: ResultCallback,
+    *,
+    executor: str = "process",
+    workers: int | None = None,
+    max_retries: int = 2,
+    pool: WorkerPool | None = None,
+) -> ExecutionStats:
+    """Run tagged shard batches to completion with retries and pool recovery.
+
+    The seed-agnostic execution core shared by :func:`run_engine` and the
+    multi-seed sweep driver: each job is an opaque ``tag`` plus a batch of
+    :class:`ShardTask`; ``on_result(tag, outcomes, retries)`` fires as each
+    batch completes.  A borrowed :class:`WorkerPool` is reused and left
+    running; otherwise a private pool is created and torn down.  Raises
+    :class:`EngineError` once any batch exhausts ``max_retries``.
+    """
+    n_workers = workers or os.cpu_count() or 1
+    if executor == "process" and jobs and not process_pool_usable():
+        executor = "serial"
+    stats = ExecutionStats(
+        executor=executor, workers=n_workers if executor == "process" else 1
+    )
+    if executor == "serial" or not jobs:
+        _execute_serial(jobs, max_retries, on_result)
+        return stats
+    if pool is not None:
+        stats.pool_rebuilds = _execute_process(jobs, max_retries, on_result, pool)
+        return stats
+    with WorkerPool(n_workers) as owned:
+        stats.pool_rebuilds = _execute_process(jobs, max_retries, on_result, owned)
+    return stats
 
 
 # -- entry points ------------------------------------------------------------
 
 
 def run_engine(
-    config: EngineConfig, route: Route | None = None
+    config: EngineConfig,
+    route: Route | None = None,
+    *,
+    shard_store: ShardResultStore | None = None,
+    pool: WorkerPool | None = None,
 ) -> tuple[DriveDataset, EngineReport]:
     """Execute a campaign under the sharded engine.
 
     Returns the merged dataset and the execution report.  Raises
     :class:`EngineError` when a shard exhausts its retry budget or (with
     ``config.validate``) the merged dataset violates an invariant.
+
+    ``shard_store`` plugs a shared result store (such as the sweep's
+    content-addressed :class:`~repro.sweep.cache.ShardCache`) under the
+    engine: matching shards are replayed instead of recomputed, and fresh
+    results are stored back.  ``pool`` lets repeated calls share one
+    :class:`WorkerPool` instead of spinning up a process pool per run.
     """
     started = time.perf_counter()
     campaign_route = route or build_cross_country_route()
     plan = plan_campaign(config.campaign, campaign_route, config.planner)
     fingerprint = config_fingerprint(config.campaign, plan)
+    indices = [PASSIVE_SHARD_INDEX] + [w.index for w in plan.windows]
 
     results: dict[int, ShardResult] = {}
     retries: dict[int, int] = {}
     if config.checkpoint_dir is not None:
         store = CheckpointStore(config.checkpoint_dir, fingerprint)
-        indices = [PASSIVE_SHARD_INDEX] + [w.index for w in plan.windows]
         results.update(store.load_all(indices))
         retries.update({index: 0 for index in results})
 
+    cache_hits = cache_misses = 0
+    if shard_store is not None:
+        remaining = [i for i in indices if i not in results]
+        cached = shard_store.load_many(
+            fingerprint, config.campaign.seed, remaining
+        )
+        for result in cached.values():
+            result.from_cache = True
+        results.update(cached)
+        retries.update({index: 0 for index in cached})
+        cache_hits = len(cached)
+        cache_misses = len(remaining) - len(cached)
+
     pending = [w for w in plan.windows if w.index not in results]
     passive_pending = PASSIVE_SHARD_INDEX not in results
-    batches = _build_tasks(
-        config, plan, pending, passive_pending, fingerprint,
-        route if route is not None else None,
+    batches = build_task_batches(
+        config, plan, pending, passive_pending, fingerprint, route
     )
 
-    workers = config.workers or os.cpu_count() or 1
-    executor = config.executor
-    if executor == "process" and batches:
-        try:
-            # Run a trivial task so the probe exercises real worker spawning
-            # — with lazily-spawning start methods, merely constructing the
-            # pool can succeed on platforms where running tasks would fail.
-            with ProcessPoolExecutor(max_workers=1) as _probe:
-                _probe.submit(int).result()
-        except (OSError, ValueError, NotImplementedError, BrokenProcessPool):
-            executor = "serial"  # sandboxed platforms without process pools
+    def on_result(tag: Hashable, outcomes: list[ShardResult], attempt: int) -> None:
+        for outcome in outcomes:
+            results[outcome.index] = outcome
+            retries[outcome.index] = attempt
+            if shard_store is not None:
+                shard_store.store(fingerprint, config.campaign.seed, outcome)
+
+    stats = execute_jobs(
+        list(enumerate(batches)),
+        on_result,
+        executor=config.executor,
+        workers=config.workers,
+        max_retries=config.max_retries,
+        pool=pool,
+    )
 
     report = EngineReport(
-        executor=executor,
-        workers=workers if executor == "process" else 1,
+        executor=stats.executor,
+        workers=stats.workers,
         n_windows=plan.n_windows,
         n_batches=len(batches),
+        pool_rebuilds=stats.pool_rebuilds,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )
-
-    if executor == "serial" or not batches:
-        _run_serial(batches, config, results, retries)
-    else:
-        _run_process(batches, config, workers, results, retries, report)
 
     merge_started = time.perf_counter()
     dataset = merge_shard_results(
@@ -326,6 +493,7 @@ def run_engine(
             records=result.records,
             retries=retries.get(index, 0),
             from_checkpoint=result.from_checkpoint,
+            from_cache=result.from_cache,
         )
         for index, result in sorted(results.items())
     ]

@@ -32,7 +32,14 @@ from repro.engine.worker import ShardResult
 from repro.errors import ReproError
 from repro.radio.operators import Operator
 
-__all__ = ["CheckpointStore", "config_fingerprint"]
+__all__ = [
+    "CheckpointStore",
+    "config_fingerprint",
+    "shard_key",
+    "shard_meta",
+    "shard_from_parts",
+    "shard_stem",
+]
 
 #: Bump when the shard execution semantics change in a way that makes old
 #: checkpoints unmergeable.
@@ -64,6 +71,50 @@ def config_fingerprint(config: CampaignConfig, plan: ShardPlan) -> str:
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
+def shard_stem(index: int) -> str:
+    """Canonical file stem of one shard (``shard-0007``, ``shard-passive``)."""
+    return "shard-passive" if index == PASSIVE_SHARD_INDEX else f"shard-{index:04d}"
+
+
+def shard_key(fingerprint: str, index: int, seed: int) -> str:
+    """Content address of one shard result.
+
+    The digest of ``(config_fingerprint, shard_index, shard_seed)`` — the
+    complete identity of a shard's computation.  The fingerprint already
+    commits to the campaign seed, but the seed participates explicitly so a
+    key is self-describing and survives fingerprint-scheme evolution.
+    """
+    canon = f"{fingerprint}:{shard_stem(index)}:{seed}"
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def shard_meta(result: ShardResult, fingerprint: str) -> dict:
+    """JSON-able sidecar describing one shard result (sans dataset)."""
+    return {
+        "fingerprint": fingerprint,
+        "index": result.index,
+        "wall_s": result.wall_s,
+        "records": result.records,
+        "active_cells": {op.name: n for op, n in result.active_cells.items()},
+        "macro_cells": {op.name: n for op, n in result.macro_cells.items()},
+    }
+
+
+def shard_from_parts(index: int, meta: dict, dataset) -> ShardResult:
+    """Rebuild a :class:`ShardResult` from its sidecar and dataset."""
+    return ShardResult(
+        index=index,
+        dataset=dataset,
+        active_cells={
+            _OP[name]: n for name, n in meta.get("active_cells", {}).items()
+        },
+        macro_cells={
+            _OP[name]: n for name, n in meta.get("macro_cells", {}).items()
+        },
+        wall_s=float(meta.get("wall_s", 0.0)),
+    )
+
+
 class CheckpointStore:
     """Reads and writes per-shard checkpoint files in one directory."""
 
@@ -73,15 +124,11 @@ class CheckpointStore:
 
     # -- paths ------------------------------------------------------------
 
-    @staticmethod
-    def _stem(index: int) -> str:
-        return "shard-passive" if index == PASSIVE_SHARD_INDEX else f"shard-{index:04d}"
-
     def dataset_path(self, index: int) -> pathlib.Path:
-        return self.directory / f"{self._stem(index)}.ds.gz"
+        return self.directory / f"{shard_stem(index)}.ds.gz"
 
     def meta_path(self, index: int) -> pathlib.Path:
-        return self.directory / f"{self._stem(index)}.meta.json"
+        return self.directory / f"{shard_stem(index)}.meta.json"
 
     # -- write ------------------------------------------------------------
 
@@ -89,14 +136,7 @@ class CheckpointStore:
         """Persist one shard result; both files are written atomically."""
         self.directory.mkdir(parents=True, exist_ok=True)
         save_dataset(result.dataset, self.dataset_path(result.index))
-        meta = {
-            "fingerprint": self.fingerprint,
-            "index": result.index,
-            "wall_s": result.wall_s,
-            "records": result.records,
-            "active_cells": {op.name: n for op, n in result.active_cells.items()},
-            "macro_cells": {op.name: n for op, n in result.macro_cells.items()},
-        }
+        meta = shard_meta(result, self.fingerprint)
         path = self.meta_path(result.index)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
@@ -122,20 +162,11 @@ class CheckpointStore:
             if meta.get("index") != index:
                 return None
             dataset = load_dataset(ds_path)
+            result = shard_from_parts(index, meta, dataset)
         except (OSError, ValueError, KeyError, EOFError, ReproError):
             return None
-        return ShardResult(
-            index=index,
-            dataset=dataset,
-            active_cells={
-                _OP[name]: n for name, n in meta.get("active_cells", {}).items()
-            },
-            macro_cells={
-                _OP[name]: n for name, n in meta.get("macro_cells", {}).items()
-            },
-            wall_s=float(meta.get("wall_s", 0.0)),
-            from_checkpoint=True,
-        )
+        result.from_checkpoint = True
+        return result
 
     def load_all(self, indices: list[int]) -> dict[int, ShardResult]:
         """Load every valid checkpoint among ``indices``."""

@@ -2,9 +2,11 @@
 
 An :class:`EngineReport` is produced by every engine run.  It records, per
 shard: the route span, wall time, record count, retry count, and whether the
-shard was served from a checkpoint — plus run-level aggregates (worker
-utilisation, pool rebuilds after hard worker deaths, merge time).  The
-report serialises to JSON so campaign farms can scrape it.
+shard was served from a checkpoint or the shard cache — plus run-level
+aggregates (worker utilisation, pool rebuilds after hard worker deaths,
+merge time, cache hit/miss counters).  The report serialises to JSON so
+campaign farms can scrape it; ``schema_version`` lets scrapers detect format
+drift, and :meth:`EngineReport.from_obj` round-trips the JSON form.
 """
 
 from __future__ import annotations
@@ -14,7 +16,13 @@ import os
 import pathlib
 from dataclasses import dataclass, field
 
-__all__ = ["ShardMetrics", "EngineReport"]
+__all__ = ["ShardMetrics", "EngineReport", "REPORT_SCHEMA_VERSION"]
+
+#: Version of the JSON report format.  Bump whenever a field is added,
+#: removed, or changes meaning; scrapers compare it before parsing.
+#: History: 1 = initial engine report; 2 = adds schema_version itself,
+#: per-shard ``from_cache``, and run-level ``cache_hits``/``cache_misses``.
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,6 +36,7 @@ class ShardMetrics:
     records: int
     retries: int
     from_checkpoint: bool
+    from_cache: bool = False
 
     def to_obj(self) -> dict:
         return {
@@ -38,7 +47,21 @@ class ShardMetrics:
             "records": self.records,
             "retries": self.retries,
             "from_checkpoint": self.from_checkpoint,
+            "from_cache": self.from_cache,
         }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "ShardMetrics":
+        return cls(
+            index=int(obj["index"]),
+            start_km=float(obj["start_km"]),
+            end_km=float(obj["end_km"]),
+            wall_s=float(obj["wall_s"]),
+            records=int(obj["records"]),
+            retries=int(obj["retries"]),
+            from_checkpoint=bool(obj["from_checkpoint"]),
+            from_cache=bool(obj.get("from_cache", False)),
+        )
 
 
 @dataclass
@@ -54,6 +77,10 @@ class EngineReport:
     merge_s: float = 0.0
     pool_rebuilds: int = 0
     validated: bool = False
+    #: Shards served from / missed by the pluggable shard-result store
+    #: (zero when no store is configured; checkpoints count separately).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def total_records(self) -> int:
@@ -69,8 +96,16 @@ class EngineReport:
 
     @property
     def shard_wall_s(self) -> float:
-        """Summed per-shard compute time (excludes checkpointed shards)."""
-        return sum(s.wall_s for s in self.shards if not s.from_checkpoint)
+        """Summed per-shard compute time (excludes replayed shards)."""
+        return sum(
+            s.wall_s for s in self.shards
+            if not (s.from_checkpoint or s.from_cache)
+        )
+
+    def cache_hit_ratio(self) -> float:
+        """Hits over store lookups; 0.0 when no store was configured."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
 
     def worker_utilisation(self) -> float:
         """Fraction of worker capacity kept busy by shard compute.
@@ -84,6 +119,7 @@ class EngineReport:
 
     def to_obj(self) -> dict:
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "executor": self.executor,
             "workers": self.workers,
             "n_windows": self.n_windows,
@@ -92,12 +128,32 @@ class EngineReport:
             "merge_s": round(self.merge_s, 4),
             "pool_rebuilds": self.pool_rebuilds,
             "validated": self.validated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": round(self.cache_hit_ratio(), 4),
             "total_records": self.total_records,
             "total_retries": self.total_retries,
             "checkpoint_hits": self.checkpoint_hits,
             "worker_utilisation": round(self.worker_utilisation(), 4),
             "shards": [s.to_obj() for s in self.shards],
         }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "EngineReport":
+        """Rebuild a report from its JSON form (derived fields recomputed)."""
+        return cls(
+            executor=str(obj["executor"]),
+            workers=int(obj["workers"]),
+            n_windows=int(obj["n_windows"]),
+            n_batches=int(obj["n_batches"]),
+            shards=[ShardMetrics.from_obj(s) for s in obj.get("shards", [])],
+            total_wall_s=float(obj["total_wall_s"]),
+            merge_s=float(obj["merge_s"]),
+            pool_rebuilds=int(obj["pool_rebuilds"]),
+            validated=bool(obj["validated"]),
+            cache_hits=int(obj.get("cache_hits", 0)),
+            cache_misses=int(obj.get("cache_misses", 0)),
+        )
 
     def to_json(self) -> str:
         return json.dumps(self.to_obj(), indent=2, sort_keys=True)

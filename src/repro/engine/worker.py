@@ -96,6 +96,8 @@ class ShardResult:
     macro_cells: dict[Operator, int] = field(default_factory=dict)
     wall_s: float = 0.0
     from_checkpoint: bool = False
+    #: Served from a content-addressed shard cache (see ``repro.sweep.cache``).
+    from_cache: bool = False
 
     @property
     def records(self) -> int:

@@ -40,6 +40,15 @@ class AnalysisError(ReproError):
     """An analysis was asked to run on unsuitable or empty data."""
 
 
+class SweepError(ReproError):
+    """A multi-seed replication sweep was misconfigured or failed.
+
+    Raised for invalid sweep configurations (empty or duplicate seed lists,
+    unknown statistic names) and for aggregation failures; per-shard
+    execution failures inside a sweep surface as :class:`EngineError`.
+    """
+
+
 class EngineError(ReproError):
     """The sharded execution engine failed to plan, run, or merge a campaign.
 

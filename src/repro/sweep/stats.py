@@ -1,0 +1,382 @@
+"""Paper statistics over replicated datasets: registry + bootstrap CIs.
+
+The paper reports single-drive point estimates; a sweep replicates the
+campaign across seeds and turns every headline number into a distribution.
+This module holds the two halves of that aggregation:
+
+* a **registry of paper statistics** — named scalar functionals of one
+  :class:`~repro.campaign.dataset.DriveDataset` (coverage fractions,
+  throughput/RTT percentiles, handover rates, app QoE summaries), each tied
+  to the figure/table it reproduces.  Downstream users can
+  :func:`register_statistic` their own;
+* a **seed-level aggregator** that evaluates each statistic once per seed
+  and summarises the per-seed values as mean/median/std plus a
+  **percentile-bootstrap confidence interval** on the mean (resampling
+  seeds with replacement — the seed, not the sample, is the replication
+  unit, so within-seed correlation never narrows the interval).
+
+Statistics are evaluated defensively: a statistic that cannot be computed
+on some seed's dataset (e.g. app QoE on an ``include_apps=False`` campaign)
+yields ``NaN`` for that seed and is aggregated over the seeds that do have
+it; statistics with no finite value anywhere are reported as skipped.
+
+Bootstrap resampling is deterministic: the RNG is seeded from the statistic
+name, so the same sweep always emits bit-identical intervals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.analysis import coverage
+from repro.analysis.handovers import handovers_per_mile
+from repro.campaign.dataset import DriveDataset
+from repro.errors import ReproError, SweepError
+from repro.radio.operators import Operator
+
+__all__ = [
+    "PaperStatistic",
+    "StatisticSummary",
+    "bootstrap_ci",
+    "evaluate_statistics",
+    "get_statistic",
+    "register_statistic",
+    "registered_statistics",
+    "summarize_statistic",
+    "unregister_statistic",
+]
+
+#: Scalar functional of one dataset.
+StatisticFn = Callable[[DriveDataset], float]
+
+
+@dataclass(frozen=True)
+class PaperStatistic:
+    """One registered statistic: a named scalar view of a dataset."""
+
+    name: str
+    description: str
+    unit: str
+    fn: StatisticFn
+
+    def evaluate(self, dataset: DriveDataset) -> float:
+        """Evaluate on one dataset; ``NaN`` when not computable there."""
+        try:
+            value = float(self.fn(dataset))
+        except (ReproError, ValueError, ZeroDivisionError):
+            return math.nan
+        return value if math.isfinite(value) else math.nan
+
+
+_REGISTRY: dict[str, PaperStatistic] = {}
+
+
+def register_statistic(
+    name: str, description: str, unit: str, fn: StatisticFn
+) -> PaperStatistic:
+    """Add a statistic to the registry; names must be unique."""
+    if name in _REGISTRY:
+        raise SweepError(f"statistic {name!r} already registered")
+    stat = PaperStatistic(name=name, description=description, unit=unit, fn=fn)
+    _REGISTRY[name] = stat
+    return stat
+
+
+def unregister_statistic(name: str) -> None:
+    """Remove a statistic (mainly for tests adding temporary ones)."""
+    _REGISTRY.pop(name, None)
+
+
+def registered_statistics() -> tuple[str, ...]:
+    """All registered statistic names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_statistic(name: str) -> PaperStatistic:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SweepError(
+            f"unknown statistic {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def evaluate_statistics(
+    dataset: DriveDataset, names: Iterable[str] | None = None
+) -> dict[str, float]:
+    """Evaluate the named (default: all) statistics on one dataset."""
+    chosen = registered_statistics() if names is None else tuple(names)
+    return {name: get_statistic(name).evaluate(dataset) for name in chosen}
+
+
+# -- aggregation across seeds ------------------------------------------------
+
+
+def _stat_rng(name: str) -> np.random.Generator:
+    """Deterministic bootstrap RNG derived from the statistic name."""
+    digest = hashlib.sha256(f"repro.sweep.stats:{name}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI on the mean of ``values``.
+
+    Resamples the values with replacement ``n_boot`` times and returns the
+    ``(1±confidence)/2`` percentiles of the resampled means.  With a single
+    value the interval degenerates to that value.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise SweepError(f"confidence must be in (0, 1), got {confidence}")
+    if n_boot < 1:
+        raise SweepError(f"n_boot must be >= 1, got {n_boot}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0 or not np.all(np.isfinite(arr)):
+        raise SweepError("bootstrap requires a non-empty finite sample")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = rng or np.random.default_rng(0)
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+@dataclass(frozen=True)
+class StatisticSummary:
+    """Cross-seed summary of one statistic, CI included."""
+
+    name: str
+    description: str
+    unit: str
+    confidence: float
+    n_boot: int
+    #: Seeds with a finite value, ascending, aligned with ``values``.
+    seeds: tuple[int, ...]
+    values: tuple[float, ...]
+    mean: float
+    median: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.seeds)
+
+    def to_obj(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "unit": self.unit,
+            "confidence": self.confidence,
+            "n_boot": self.n_boot,
+            "seeds": list(self.seeds),
+            "values": [round(v, 6) for v in self.values],
+            "mean": round(self.mean, 6),
+            "median": round(self.median, 6),
+            "std": round(self.std, 6),
+            "ci_low": round(self.ci_low, 6),
+            "ci_high": round(self.ci_high, 6),
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "StatisticSummary":
+        return cls(
+            name=str(obj["name"]),
+            description=str(obj["description"]),
+            unit=str(obj["unit"]),
+            confidence=float(obj["confidence"]),
+            n_boot=int(obj["n_boot"]),
+            seeds=tuple(int(s) for s in obj["seeds"]),
+            values=tuple(float(v) for v in obj["values"]),
+            mean=float(obj["mean"]),
+            median=float(obj["median"]),
+            std=float(obj["std"]),
+            ci_low=float(obj["ci_low"]),
+            ci_high=float(obj["ci_high"]),
+        )
+
+
+def summarize_statistic(
+    name: str,
+    values_by_seed: Mapping[int, float],
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+) -> StatisticSummary | None:
+    """Aggregate one statistic's per-seed values; ``None`` if none finite."""
+    stat = get_statistic(name)
+    pairs = sorted(
+        (seed, value)
+        for seed, value in values_by_seed.items()
+        if math.isfinite(value)
+    )
+    if not pairs:
+        return None
+    seeds = tuple(seed for seed, _ in pairs)
+    arr = np.asarray([value for _, value in pairs], dtype=float)
+    lo, hi = bootstrap_ci(arr, confidence, n_boot, rng=_stat_rng(name))
+    return StatisticSummary(
+        name=name,
+        description=stat.description,
+        unit=stat.unit,
+        confidence=confidence,
+        n_boot=n_boot,
+        seeds=seeds,
+        values=tuple(float(v) for v in arr),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        ci_low=lo,
+        ci_high=hi,
+    )
+
+
+# -- built-in paper statistics ----------------------------------------------
+
+
+def _quantile(values: np.ndarray, q: float) -> float:
+    if values.size == 0:
+        return math.nan
+    return float(np.quantile(values, q))
+
+
+def _dl(ds: DriveDataset, op: Operator) -> np.ndarray:
+    return ds.tput_values(operator=op, direction="downlink", static=False)
+
+
+def _register_builtins() -> None:
+    for op in Operator:
+        code = op.code
+
+        register_statistic(
+            f"coverage_5g_share_{code}",
+            f"{op.label} passive 5G coverage share of route miles (Fig. 1)",
+            "fraction",
+            lambda ds, op=op: coverage.passive_coverage_shares(ds, op).share_5g,
+        )
+        register_statistic(
+            f"coverage_hs5g_share_{code}",
+            f"{op.label} high-speed 5G (midband+mmWave) share (Fig. 2a)",
+            "fraction",
+            lambda ds, op=op: (
+                coverage.passive_coverage_shares(ds, op).share_high_speed_5g
+            ),
+        )
+        register_statistic(
+            f"driving_dl_median_mbps_{code}",
+            f"{op.label} driving downlink median over 500 ms samples (Fig. 3b)",
+            "Mbps",
+            lambda ds, op=op: _quantile(_dl(ds, op), 0.5),
+        )
+        register_statistic(
+            f"driving_ul_median_mbps_{code}",
+            f"{op.label} driving uplink median over 500 ms samples (Fig. 3b)",
+            "Mbps",
+            lambda ds, op=op: _quantile(
+                ds.tput_values(operator=op, direction="uplink", static=False), 0.5
+            ),
+        )
+        register_statistic(
+            f"driving_rtt_median_ms_{code}",
+            f"{op.label} driving RTT median over ping samples (Fig. 3c)",
+            "ms",
+            lambda ds, op=op: _quantile(
+                ds.rtt_values(operator=op, static=False), 0.5
+            ),
+        )
+        register_statistic(
+            f"handovers_per_mile_median_{code}",
+            f"{op.label} median handovers per mile over DL tests (Fig. 11a)",
+            "HO/mile",
+            lambda ds, op=op: handovers_per_mile(ds, op, "downlink").median,
+        )
+
+    register_statistic(
+        "driving_dl_below_5mbps_fraction",
+        "Fraction of driving DL samples below 5 Mbps, all operators (§5.1)",
+        "fraction",
+        lambda ds: float(
+            np.mean(ds.tput_values(direction="downlink", static=False) < 5.0)
+        ),
+    )
+    register_statistic(
+        "driving_rtt_p95_ms",
+        "95th percentile driving RTT, all operators (Fig. 3c tail)",
+        "ms",
+        lambda ds: _quantile(ds.rtt_values(static=False), 0.95),
+    )
+    register_statistic(
+        "unique_cells_total",
+        "Distinct cells connected across all operators (Table 1)",
+        "cells",
+        lambda ds: float(sum(ds.connected_cells.values())),
+    )
+    register_statistic(
+        "passive_handovers_total",
+        "Trip-wide passive handover count across operators (Table 1)",
+        "handovers",
+        lambda ds: float(sum(ds.passive_handover_counts.values())),
+    )
+    register_statistic(
+        "ar_e2e_median_ms",
+        "Median AR offloading end-to-end latency while driving (Fig. 13)",
+        "ms",
+        lambda ds: _quantile(
+            np.asarray(
+                [r.median_e2e_ms for r in ds.offload_runs
+                 if r.app.name == "AR" and not r.static],
+                dtype=float,
+            ),
+            0.5,
+        ),
+    )
+    register_statistic(
+        "cav_e2e_median_ms",
+        "Median CAV offloading end-to-end latency while driving (Fig. 14)",
+        "ms",
+        lambda ds: _quantile(
+            np.asarray(
+                [r.median_e2e_ms for r in ds.offload_runs
+                 if r.app.name == "CAV" and not r.static],
+                dtype=float,
+            ),
+            0.5,
+        ),
+    )
+    register_statistic(
+        "video_qoe_median",
+        "Median 360° video QoE while driving (Fig. 15)",
+        "QoE",
+        lambda ds: _quantile(
+            np.asarray(
+                [r.qoe for r in ds.video_runs if not r.static], dtype=float
+            ),
+            0.5,
+        ),
+    )
+    register_statistic(
+        "gaming_bitrate_median_mbps",
+        "Median cloud-gaming bitrate while driving (Fig. 16)",
+        "Mbps",
+        lambda ds: _quantile(
+            np.asarray(
+                [r.avg_bitrate_mbps for r in ds.gaming_runs if not r.static],
+                dtype=float,
+            ),
+            0.5,
+        ),
+    )
+
+
+_register_builtins()

@@ -100,6 +100,26 @@ class TestEngineReport:
         assert obj["total_records"] == report.total_records
         assert len(obj["shards"]) == len(report.shards)
 
+    def test_report_schema_version_and_from_obj(self, tmp_path):
+        import json
+
+        from repro.engine.metrics import REPORT_SCHEMA_VERSION, EngineReport
+
+        _, report = run_engine(
+            EngineConfig(
+                campaign=ENGINE_CAMPAIGN,
+                executor="serial",
+                planner=PlannerParams(window_km=ENGINE_WINDOW_KM),
+            )
+        )
+        obj = report.to_obj()
+        assert obj["schema_version"] == REPORT_SCHEMA_VERSION
+        rebuilt = EngineReport.from_obj(json.loads(json.dumps(obj)))
+        # The serialisation rounds stably, so a round trip is idempotent.
+        assert rebuilt.to_obj() == obj
+        assert rebuilt.cache_hits == 0
+        assert rebuilt.cache_hit_ratio() == 0.0
+
 
 class TestPublicApi:
     def test_generate_dataset_parallel_matches_baseline(

@@ -165,6 +165,26 @@ class TestCheckpointResume:
         assert engine_dataset_bytes(ds, tmp_path) == base
         assert report.checkpoint_hits == 0
 
+    def test_changed_planner_window_invalidates(self, engine_baseline, tmp_path):
+        """A different window decomposition changes the fingerprint, so
+        checkpoints from the old decomposition must not be resumed — a
+        window boundary shift silently reused would corrupt the merge."""
+        _, base = engine_baseline
+        ckpt = tmp_path / "ckpt"
+        run_engine(
+            EngineConfig(
+                campaign=ENGINE_CAMPAIGN,
+                planner=PlannerParams(window_km=ENGINE_WINDOW_KM * 2),
+                executor="serial",
+                checkpoint_dir=str(ckpt),
+            )
+        )
+        ds, report = run_engine(
+            engine_config(executor="serial", checkpoint_dir=str(ckpt))
+        )
+        assert engine_dataset_bytes(ds, tmp_path) == base
+        assert report.checkpoint_hits == 0
+
     def test_corrupt_checkpoint_recomputed(self, engine_baseline, tmp_path):
         _, base = engine_baseline
         ckpt = tmp_path / "ckpt"
@@ -207,3 +227,46 @@ class TestCheckpointStore:
         store = CheckpointStore(tmp_path, "fp")
         assert store.load(0) is None
         assert store.load_all([0, 1, -1]) == {}
+
+
+class TestPoolProbe:
+    def test_probe_is_memoized(self, monkeypatch):
+        """The availability probe spawns a real pool, so it must run at
+        most once per process no matter how many engine runs ask."""
+        import repro.engine as engine
+
+        calls = []
+
+        class CountingPool:
+            def __init__(self, max_workers=None):
+                calls.append(max_workers)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                class Done:
+                    @staticmethod
+                    def result():
+                        return fn(*args)
+
+                return Done()
+
+        monkeypatch.setattr(engine, "_POOL_PROBE_OK", None)
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", CountingPool)
+        assert engine.process_pool_usable() is True
+        assert engine.process_pool_usable() is True
+        assert len(calls) == 1
+
+    def test_cached_verdict_skips_probe(self, monkeypatch):
+        import repro.engine as engine
+
+        def explode(*a, **k):
+            raise AssertionError("probe pool constructed despite cached verdict")
+
+        monkeypatch.setattr(engine, "_POOL_PROBE_OK", False)
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", explode)
+        assert engine.process_pool_usable() is False
