@@ -20,7 +20,9 @@ from repro.units import SPEED_BIN_LABELS, speed_bin
 __all__ = [
     "CoverageShares",
     "active_coverage_shares",
+    "active_coverage_shares_from_store",
     "passive_coverage_shares",
+    "passive_coverage_shares_from_store",
     "coverage_by_timezone",
     "coverage_by_speed_bin",
     "coverage_by_direction",
@@ -98,6 +100,59 @@ def passive_coverage_shares(dataset: DriveDataset, operator: Operator) -> Covera
     for seg in dataset.passive_coverage:
         if seg.operator is operator:
             weights[seg.tech] += seg.length_m
+    return _shares_from_weights(operator, weights)
+
+
+def passive_coverage_shares_from_store(
+    source, operator: Operator, *, seeds=None
+) -> CoverageShares:
+    """Fig. 1 shares straight off a columnar store, no row objects.
+
+    ``source`` is a :class:`repro.store.DatasetReader` or
+    :class:`repro.store.Catalog`; one grouped-sum kernel pass replaces the
+    per-segment Python loop of :func:`passive_coverage_shares`, and catalog
+    partitions whose stats exclude ``operator`` are never even opened.
+    """
+    from repro.store.query import Eq, group_total
+
+    sums = group_total(
+        source, "passive", "tech", "length_m",
+        where=(Eq("operator", operator),), seeds=seeds,
+    )
+    weights: dict[RadioTechnology, float] = {t: 0.0 for t in ALL_TECHNOLOGIES}
+    for name, length_m in sums.items():
+        weights[RadioTechnology[name]] += length_m
+    return _shares_from_weights(operator, weights)
+
+
+def active_coverage_shares_from_store(
+    source,
+    operator: Operator,
+    direction: str | None = None,
+    speed_bin_label: str | None = None,
+    *,
+    seeds=None,
+) -> CoverageShares:
+    """Fig. 2 distance-weighted shares off a columnar store.
+
+    Mirrors :func:`active_coverage_shares` (static samples excluded, speed
+    as the distance weight) through the query engine's grouped-sum kernel.
+    Negative speed weights cannot occur in stored data, so no clamping is
+    needed.
+    """
+    from repro.store.query import Eq, group_total, where_speed_bin
+
+    where = [Eq("operator", operator), Eq("static", False)]
+    if direction is not None:
+        where.append(Eq("direction", direction))
+    if speed_bin_label is not None:
+        where.append(where_speed_bin(speed_bin_label))
+    sums = group_total(
+        source, "tput", "tech", "speed_mph", where=tuple(where), seeds=seeds
+    )
+    weights: dict[RadioTechnology, float] = {t: 0.0 for t in ALL_TECHNOLOGIES}
+    for name, weight in sums.items():
+        weights[RadioTechnology[name]] += weight
     return _shares_from_weights(operator, weights)
 
 

@@ -20,6 +20,7 @@ from repro.radio.technology import ALL_TECHNOLOGIES, RadioTechnology
 __all__ = [
     "StaticVsDriving",
     "static_vs_driving",
+    "static_vs_driving_from_store",
     "per_technology_throughput",
     "per_technology_rtt",
     "edge_vs_cloud_throughput",
@@ -62,6 +63,48 @@ def static_vs_driving(dataset: DriveDataset, operator: Operator) -> StaticVsDriv
         driving_rtt=EmpiricalCDF.from_values(
             dataset.rtt_values(operator=operator, static=False)
         ),
+    )
+
+
+def static_vs_driving_from_store(
+    source, operator: Operator, *, seeds=None
+) -> StaticVsDriving:
+    """Fig. 3 CDFs straight off a columnar store.
+
+    ``source`` is a :class:`repro.store.DatasetReader` or
+    :class:`repro.store.Catalog`.  Each CDF is built by the query engine's
+    :func:`repro.store.query.cdf` kernel — predicates are pushed into the
+    column stats, and only the projected value column is decoded — yielding
+    curves identical to :func:`static_vs_driving` on the same data.
+    """
+    from repro.store.query import Eq, cdf
+
+    def tput(direction: str, static: bool) -> EmpiricalCDF:
+        return cdf(
+            source, "tput", "tput_mbps",
+            where=(
+                Eq("operator", operator),
+                Eq("direction", direction),
+                Eq("static", static),
+            ),
+            seeds=seeds,
+        )
+
+    def rtt(static: bool) -> EmpiricalCDF:
+        return cdf(
+            source, "rtt", "rtt_ms",
+            where=(Eq("operator", operator), Eq("static", static)),
+            seeds=seeds,
+        )
+
+    return StaticVsDriving(
+        operator=operator,
+        static_dl=tput("downlink", True),
+        static_ul=tput("uplink", True),
+        static_rtt=rtt(True),
+        driving_dl=tput("downlink", False),
+        driving_ul=tput("uplink", False),
+        driving_rtt=rtt(False),
     )
 
 

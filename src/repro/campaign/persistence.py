@@ -10,6 +10,14 @@ into place) so an interrupted save can never leave a truncated gzip behind,
 and **byte-reproducible** (the gzip mtime field is pinned to zero) so equal
 datasets serialise to equal bytes — both properties the engine's shard
 checkpoints and determinism tests rely on.
+
+Two on-disk backends share this API: the row-oriented gzipped JSON-lines
+format here, and the columnar ``.rcol`` store format (:mod:`repro.store`)
+optimised for analytical queries.  :func:`save_dataset` picks by the
+``format=`` argument (``"auto"`` keys on the ``.rcol`` suffix);
+:func:`load_dataset` sniffs the file's magic bytes, so callers never need
+to know which backend wrote a file.  Both round-trip every record value
+exactly.
 """
 
 from __future__ import annotations
@@ -229,8 +237,18 @@ _SECTIONS = {
 }
 
 
-def save_dataset(dataset: DriveDataset, path: str | pathlib.Path) -> None:
-    """Write a dataset as gzipped JSON-lines, atomically.
+def save_dataset(
+    dataset: DriveDataset,
+    path: str | pathlib.Path,
+    *,
+    format: str = "auto",
+) -> None:
+    """Write a dataset to disk, atomically.
+
+    ``format`` selects the backend: ``"jsonl"`` for gzipped JSON-lines,
+    ``"columnar"`` for the :mod:`repro.store` columnar format, or ``"auto"``
+    (the default), which writes columnar when ``path`` ends in ``.rcol``
+    and JSON-lines otherwise.
 
     The file appears at ``path`` only once fully written and flushed:
     writes go to a unique ``.tmp`` sibling which is then ``os.replace``'d
@@ -238,6 +256,18 @@ def save_dataset(dataset: DriveDataset, path: str | pathlib.Path) -> None:
     previous file at ``path`` untouched.
     """
     path = pathlib.Path(path)
+    if format not in ("auto", "jsonl", "columnar"):
+        raise ValueError(
+            f"unknown dataset format {format!r}; use 'auto', 'jsonl', "
+            "or 'columnar'"
+        )
+    if format == "columnar" or (
+        format == "auto" and path.suffix == ".rcol"
+    ):
+        from repro.store.format import write_dataset
+
+        write_dataset(dataset, path)
+        return
     header = {
         "format": FORMAT_VERSION,
         "seed": dataset.seed,
@@ -268,14 +298,23 @@ def save_dataset(dataset: DriveDataset, path: str | pathlib.Path) -> None:
 
 
 def load_dataset(path: str | pathlib.Path) -> DriveDataset:
-    """Read a dataset written by :func:`save_dataset`.
+    """Read a dataset written by :func:`save_dataset`, either backend.
+
+    The backend is detected from the file's magic bytes, not its name, so
+    renamed files still load.
 
     Raises
     ------
     LogFormatError
         On missing/invalid header or unknown record kinds/versions.
+    StoreError
+        On a truncated or corrupt columnar file.
     """
     path = pathlib.Path(path)
+    from repro.store.format import is_store_file, read_dataset
+
+    if is_store_file(path):
+        return read_dataset(path)
     with gzip.open(path, "rt", encoding="utf-8") as fh:
         first = fh.readline()
         try:

@@ -125,6 +125,9 @@ class EngineConfig:
     report_path: str | None = None
     #: Run :func:`validate_dataset` on the merged result and raise on issues.
     validate: bool = False
+    #: Columnar store catalog directory (:class:`repro.store.Catalog`); the
+    #: merged dataset is ingested as a per-seed partition.  ``None`` skips.
+    store_dir: str | None = None
     #: Testing hook: per-window injected faults (see :class:`FaultSpec`).
     inject_faults: Mapping[int, FaultSpec] = field(default_factory=dict)
 
@@ -507,6 +510,11 @@ def run_engine(
                 "merged dataset failed validation: "
                 + "; ".join(str(issue) for issue in outcome.issues[:5])
             )
+    if config.store_dir is not None:
+        from repro.store.catalog import Catalog
+
+        with Catalog(config.store_dir) as catalog:
+            catalog.ingest(dataset)
     if config.report_path is not None:
         report.save(config.report_path)
     return dataset, report
@@ -525,6 +533,7 @@ def generate_dataset_parallel(
     max_retries: int = 2,
     report_path: str | None = None,
     validate: bool = False,
+    store_dir: str | None = None,
     window_km: float | None = None,
 ) -> DriveDataset:
     """Generate a campaign dataset on all available cores.
@@ -544,6 +553,9 @@ def generate_dataset_parallel(
     max_retries / report_path / validate:
         Fault-tolerance budget, JSON report output, and post-merge
         validation.
+    store_dir:
+        Ingest the merged dataset into a columnar store catalog
+        (:mod:`repro.store`) at this directory.
     window_km:
         Override the planner's adaptive shard window length.
     """
@@ -560,6 +572,7 @@ def generate_dataset_parallel(
         max_retries=max_retries,
         report_path=report_path,
         validate=validate,
+        store_dir=store_dir,
     )
     dataset, _report = run_engine(config)
     return dataset

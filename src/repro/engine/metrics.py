@@ -52,14 +52,20 @@ class ShardMetrics:
 
     @classmethod
     def from_obj(cls, obj: dict) -> "ShardMetrics":
+        """Parse the JSON form; unknown fields are ignored.
+
+        Only ``index`` and the route span are required — a report written
+        by a newer schema version that added or renamed auxiliary fields
+        still parses, with defaults standing in for what's missing.
+        """
         return cls(
             index=int(obj["index"]),
             start_km=float(obj["start_km"]),
             end_km=float(obj["end_km"]),
-            wall_s=float(obj["wall_s"]),
-            records=int(obj["records"]),
-            retries=int(obj["retries"]),
-            from_checkpoint=bool(obj["from_checkpoint"]),
+            wall_s=float(obj.get("wall_s", 0.0)),
+            records=int(obj.get("records", 0)),
+            retries=int(obj.get("retries", 0)),
+            from_checkpoint=bool(obj.get("from_checkpoint", False)),
             from_cache=bool(obj.get("from_cache", False)),
         )
 
@@ -140,17 +146,24 @@ class EngineReport:
 
     @classmethod
     def from_obj(cls, obj: dict) -> "EngineReport":
-        """Rebuild a report from its JSON form (derived fields recomputed)."""
+        """Rebuild a report from its JSON form (derived fields recomputed).
+
+        Tolerant of **newer** schema versions: fields this build doesn't
+        know are ignored, and auxiliary fields that a future version might
+        rename or drop fall back to defaults — only the structural quartet
+        (executor/workers/n_windows/n_batches) is required.  Scrapers that
+        need strict parsing should compare ``schema_version`` themselves.
+        """
         return cls(
             executor=str(obj["executor"]),
             workers=int(obj["workers"]),
             n_windows=int(obj["n_windows"]),
             n_batches=int(obj["n_batches"]),
             shards=[ShardMetrics.from_obj(s) for s in obj.get("shards", [])],
-            total_wall_s=float(obj["total_wall_s"]),
-            merge_s=float(obj["merge_s"]),
-            pool_rebuilds=int(obj["pool_rebuilds"]),
-            validated=bool(obj["validated"]),
+            total_wall_s=float(obj.get("total_wall_s", 0.0)),
+            merge_s=float(obj.get("merge_s", 0.0)),
+            pool_rebuilds=int(obj.get("pool_rebuilds", 0)),
+            validated=bool(obj.get("validated", False)),
             cache_hits=int(obj.get("cache_hits", 0)),
             cache_misses=int(obj.get("cache_misses", 0)),
         )

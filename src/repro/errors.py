@@ -49,6 +49,16 @@ class SweepError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """A columnar store file or catalog is invalid, truncated, or misused.
+
+    Raised when a store file fails its magic/version/footer checks, a column
+    chunk's byte length disagrees with its footer entry (truncation or
+    corruption can never decode to garbage rows), or a query references an
+    unknown table, column, or predicate value type.
+    """
+
+
 class EngineError(ReproError):
     """The sharded execution engine failed to plan, run, or merge a campaign.
 

@@ -1,0 +1,346 @@
+"""The store file format: atomic byte-stable writer, mmap-backed reader.
+
+One ``.rcol`` file holds one campaign dataset, columnar::
+
+    [8-byte magic "RPRCOL01"]
+    [column chunks, back to back, in footer order]
+    [footer: UTF-8 JSON]
+    [16-byte tail: <u8 footer offset> <u4 footer length> "RCOL"]
+
+The footer describes everything — dataset metadata (seed, scale, route
+length, passive handover counts, connected cells), every table's row count,
+and per column: kind, codec, byte span, dictionary values, and min/max/null
+stats.  A reader parses the footer from the tail without scanning the file,
+then decodes only the columns a query touches, straight out of an ``mmap``
+(plain numeric columns are zero-copy views).
+
+Like :mod:`repro.campaign.persistence`, writes are **atomic** (unique temp
+sibling + ``os.replace``) and **byte-stable** (no timestamps, sorted JSON
+keys, deterministic encodings), so equal datasets produce equal files and
+shard checkpointing can rely on byte comparison.
+
+``schema_version`` (the ``format`` footer field) is checked on open, the
+same contract as ``EngineReport``/``SweepReport``; every structural change
+bumps :data:`STORE_FORMAT_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pathlib
+import struct
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.campaign.dataset import DriveDataset
+from repro.errors import StoreError
+from repro.radio.operators import Operator
+from repro.store.columnar import (
+    TABLE_ATTRS,
+    TABLE_SCHEMAS,
+    ColumnStats,
+    decode_column,
+    decode_dict_column,
+    decoded_value,
+)
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "STORE_MAGIC",
+    "STORE_SUFFIX",
+    "DatasetReader",
+    "TableReader",
+    "is_store_file",
+    "read_dataset",
+    "write_dataset",
+]
+
+#: Bump on any structural change to the file layout or footer schema.
+STORE_FORMAT_VERSION = 1
+
+STORE_MAGIC = b"RPRCOL01"
+_TAIL = struct.Struct("<QI4s")
+_TAIL_MAGIC = b"RCOL"
+
+#: Conventional file suffix for columnar dataset files.
+STORE_SUFFIX = ".rcol"
+
+
+def write_dataset(dataset: DriveDataset, path: str | pathlib.Path) -> None:
+    """Write a dataset as one columnar store file, atomically."""
+    path = pathlib.Path(path)
+    tables: dict[str, Any] = {}
+    chunks: list[bytes] = []
+    offset = len(STORE_MAGIC)
+    for table_name, schema in TABLE_SCHEMAS.items():
+        records = getattr(dataset, TABLE_ATTRS[table_name])
+        encoded = schema.shred(records)
+        columns = []
+        for col in encoded:
+            columns.append(col.footer_entry(offset))
+            chunks.append(col.payload)
+            offset += len(col.payload)
+        tables[table_name] = {"count": len(records), "columns": columns}
+    footer = {
+        "format": STORE_FORMAT_VERSION,
+        "meta": {
+            "seed": dataset.seed,
+            "scale": dataset.scale,
+            "route_length_km": dataset.route_length_km,
+            "passive_handover_counts": {
+                op.name: n for op, n in dataset.passive_handover_counts.items()
+            },
+            "connected_cells": {
+                op.name: n for op, n in dataset.connected_cells.items()
+            },
+        },
+        "tables": tables,
+    }
+    footer_bytes = json.dumps(
+        footer, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    tail = _TAIL.pack(offset, len(footer_bytes), _TAIL_MAGIC)
+
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(STORE_MAGIC)
+            for chunk in chunks:
+                fh.write(chunk)
+            fh.write(footer_bytes)
+            fh.write(tail)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def is_store_file(path: str | pathlib.Path) -> bool:
+    """True when ``path`` starts with the columnar store magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(STORE_MAGIC)) == STORE_MAGIC
+    except OSError:
+        return False
+
+
+class TableReader:
+    """Column-level access to one table of an open store file."""
+
+    def __init__(self, reader: "DatasetReader", name: str, entry: dict) -> None:
+        self._reader = reader
+        self.name = name
+        self.count = int(entry["count"])
+        self._columns: dict[str, dict] = {
+            col["name"]: col for col in entry["columns"]
+        }
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def column_entry(self, name: str) -> dict:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StoreError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"known: {sorted(self._columns)}"
+            ) from None
+
+    def stats(self, name: str) -> ColumnStats:
+        return ColumnStats.from_obj(self.column_entry(name).get("stats", {}))
+
+    def dict_values(self, name: str) -> tuple[str, ...]:
+        """Distinct values of a dict column, from the footer alone."""
+        entry = self.column_entry(name)
+        if entry["kind"] != "dict":
+            raise StoreError(f"column {name!r} is {entry['kind']}, not dict")
+        return tuple(entry.get("values", ()))
+
+    def _payload(self, entry: dict) -> memoryview:
+        return self._reader._slice(
+            int(entry["offset"]), int(entry["nbytes"]), entry["name"]
+        )
+
+    def array(self, name: str) -> np.ndarray:
+        """Decode a column to numbers: f8/i8 values, bool bytes, dict codes."""
+        entry = self.column_entry(name)
+        return decode_column(entry, self._payload(entry))
+
+    def strings(self, name: str) -> list[str]:
+        """Decode a dict column to its per-row strings."""
+        entry = self.column_entry(name)
+        if entry["kind"] != "dict":
+            raise StoreError(f"column {name!r} is {entry['kind']}, not dict")
+        return decode_dict_column(entry, self._payload(entry))
+
+    def python_column(self, name: str) -> list[Any]:
+        """Decode a column to Python-level values (enums reconstructed)."""
+        entry = self.column_entry(name)
+        spec = TABLE_SCHEMAS[self.name].column(name)
+        if entry["kind"] == "dict":
+            return [decoded_value(spec, s) for s in self.strings(name)]
+        arr = self.array(name)
+        if entry["kind"] == "bool":
+            return [bool(v) for v in arr.tolist()]
+        return arr.tolist()
+
+
+class DatasetReader:
+    """mmap-backed reader over one columnar dataset file.
+
+    Opens the file, validates magic/version, and parses the footer; column
+    bytes are only touched when a query decodes them.  Usable as a context
+    manager; arrays returned by :meth:`TableReader.array` for plain columns
+    are views into the mmap and become invalid after :meth:`close`.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._fh = open(self.path, "rb")
+        try:
+            try:
+                self._mm: mmap.mmap | None = mmap.mmap(
+                    self._fh.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except ValueError as exc:  # zero-length file cannot be mapped
+                raise StoreError(f"not a store file (empty): {self.path}") from exc
+            self._footer = self._parse_footer()
+        except Exception:
+            self.close()
+            raise
+        meta = self._footer.get("meta", {})
+        self.seed: int = int(meta.get("seed", 0))
+        self.scale: float = float(meta.get("scale", 0.0))
+        self.route_length_km: float = float(meta.get("route_length_km", 0.0))
+        self.passive_handover_counts: dict[Operator, int] = {
+            Operator[name]: int(n)
+            for name, n in meta.get("passive_handover_counts", {}).items()
+        }
+        self.connected_cells: dict[Operator, int] = {
+            Operator[name]: int(n)
+            for name, n in meta.get("connected_cells", {}).items()
+        }
+        self._tables: dict[str, TableReader] = {}
+
+    # -- low-level ----------------------------------------------------------
+
+    def _parse_footer(self) -> dict:
+        mm = self._mm
+        assert mm is not None
+        size = mm.size()
+        if size < len(STORE_MAGIC) + _TAIL.size:
+            raise StoreError(
+                f"not a store file (only {size} bytes): {self.path}"
+            )
+        if mm[: len(STORE_MAGIC)] != STORE_MAGIC:
+            raise StoreError(f"bad magic; not a columnar store file: {self.path}")
+        footer_offset, footer_len, tail_magic = _TAIL.unpack(
+            mm[size - _TAIL.size :]
+        )
+        if tail_magic != _TAIL_MAGIC:
+            raise StoreError(
+                f"bad tail magic; truncated or corrupt store file: {self.path}"
+            )
+        self._data_end = footer_offset
+        if footer_offset + footer_len + _TAIL.size != size:
+            raise StoreError(
+                f"footer span disagrees with file size; truncated or corrupt "
+                f"store file: {self.path}"
+            )
+        try:
+            footer = json.loads(mm[footer_offset : footer_offset + footer_len])
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreError(
+                f"unreadable footer in store file: {self.path}"
+            ) from exc
+        version = footer.get("format")
+        if version != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported store format {version!r} "
+                f"(this build reads {STORE_FORMAT_VERSION}): {self.path}"
+            )
+        return footer
+
+    def _slice(self, offset: int, nbytes: int, column: str) -> memoryview:
+        if self._mm is None:
+            raise StoreError(f"store file is closed: {self.path}")
+        if offset < len(STORE_MAGIC) or offset + nbytes > self._data_end:
+            raise StoreError(
+                f"column {column!r} spans [{offset}, {offset + nbytes}) "
+                f"outside the data section of {self.path} (corrupt footer)"
+            )
+        return memoryview(self._mm)[offset : offset + nbytes]
+
+    # -- table access --------------------------------------------------------
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._footer.get("tables", {}))
+
+    def table(self, name: str) -> TableReader:
+        reader = self._tables.get(name)
+        if reader is None:
+            entry = self._footer.get("tables", {}).get(name)
+            if entry is None:
+                raise StoreError(
+                    f"store file has no table {name!r}; "
+                    f"known: {sorted(self._footer.get('tables', {}))}"
+                )
+            reader = TableReader(self, name, entry)
+            self._tables[name] = reader
+        return reader
+
+    def tables(self) -> Iterator[TableReader]:
+        for name in self.table_names:
+            yield self.table(name)
+
+    def nbytes(self) -> int:
+        """Total file size in bytes."""
+        return self._mm.size() if self._mm is not None else 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if getattr(self, "_mm", None) is not None:
+            self._mm.close()
+            self._mm = None
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "DatasetReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_dataset(path: str | pathlib.Path) -> DriveDataset:
+    """Materialise the full row-object dataset from a store file.
+
+    The exact inverse of :func:`write_dataset`: every record compares equal
+    to the one that was written (floats round-trip bit-for-bit).
+    """
+    with DatasetReader(path) as reader:
+        dataset = DriveDataset(
+            seed=reader.seed,
+            scale=reader.scale,
+            route_length_km=reader.route_length_km,
+            passive_handover_counts=dict(reader.passive_handover_counts),
+            connected_cells=dict(reader.connected_cells),
+        )
+        for table_name, schema in TABLE_SCHEMAS.items():
+            table = reader.table(table_name)
+            columns = {
+                spec.name: table.python_column(spec.name)
+                for spec in schema.columns
+                if not spec.derived
+            }
+            records = schema.assemble(columns, table.count)
+            getattr(dataset, TABLE_ATTRS[table_name]).extend(records)
+        return dataset

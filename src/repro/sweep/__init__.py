@@ -115,6 +115,10 @@ class SweepConfig:
     bootstrap_samples: int = 1000
     #: Validate every per-seed merged dataset and raise on issues.
     validate: bool = False
+    #: Columnar store catalog directory (:class:`repro.store.Catalog`);
+    #: every seed's merged dataset is ingested as one partition.  ``None``
+    #: skips ingestion.
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -242,6 +246,11 @@ def run_sweep(config: SweepConfig, route: Route | None = None) -> SweepResult:
         )
 
     # -- merge, validate, and report every seed ---------------------------
+    catalog = None
+    if config.store_dir is not None:
+        from repro.store.catalog import Catalog
+
+        catalog = Catalog(config.store_dir)
     datasets: dict[int, DriveDataset] = {}
     engine_reports: dict[int, EngineReport] = {}
     seed_runs: list[SeedRunMetrics] = []
@@ -263,6 +272,8 @@ def run_sweep(config: SweepConfig, route: Route | None = None) -> SweepResult:
                     + "; ".join(str(issue) for issue in outcome.issues[:5])
                 )
         datasets[seed] = dataset
+        if catalog is not None:
+            catalog.ingest(dataset, seed=seed)
 
         window_span = {w.index: (w.start_m, w.end_m) for w in plan.windows}
         window_span[PASSIVE_SHARD_INDEX] = (0.0, campaign_route.total_length_m)
@@ -304,6 +315,8 @@ def run_sweep(config: SweepConfig, route: Route | None = None) -> SweepResult:
                 retries=report.total_retries,
             )
         )
+    if catalog is not None:
+        catalog.close()
 
     # -- aggregate the paper statistics across seeds ----------------------
     names = (

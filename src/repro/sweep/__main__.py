@@ -51,7 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-static", action="store_true", help="skip the static city baselines"
     )
-    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the shared pool (default: CPU count)",
+    )
     parser.add_argument(
         "--executor", choices=("process", "serial"), default="process"
     )
@@ -69,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--report", default=None, help="write the JSON SweepReport here"
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="ingest every seed's dataset into a columnar store catalog "
+        "at DIR (queryable with python -m repro.store)",
     )
     parser.add_argument(
         "--stats", type=lambda t: tuple(t.split(",")), default=None,
@@ -113,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
             confidence=args.confidence,
             bootstrap_samples=args.bootstrap_samples,
             validate=args.validate,
+            store_dir=args.store,
         )
         result = run_sweep(config)
     except ReproError as exc:
@@ -141,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if report.skipped_statistics:
         print(f"\nskipped (no finite values): {', '.join(report.skipped_statistics)}")
+    if args.store:
+        print(f"\ndatasets ingested into store catalog {args.store}")
     if args.report:
         print(f"\nreport written to {args.report}")
     return 0

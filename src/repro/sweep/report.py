@@ -60,15 +60,20 @@ class SeedRunMetrics:
 
     @classmethod
     def from_obj(cls, obj: dict) -> "SeedRunMetrics":
+        """Parse the JSON form; unknown fields are ignored.
+
+        Only ``seed`` and ``fingerprint`` are required, so entries written
+        by a newer schema version still parse with defaults filling in.
+        """
         return cls(
             seed=int(obj["seed"]),
             fingerprint=str(obj["fingerprint"]),
-            compute_wall_s=float(obj["compute_wall_s"]),
-            records=int(obj["records"]),
-            n_shards=int(obj["n_shards"]),
-            cache_hits=int(obj["cache_hits"]),
-            cache_misses=int(obj["cache_misses"]),
-            retries=int(obj["retries"]),
+            compute_wall_s=float(obj.get("compute_wall_s", 0.0)),
+            records=int(obj.get("records", 0)),
+            n_shards=int(obj.get("n_shards", 0)),
+            cache_hits=int(obj.get("cache_hits", 0)),
+            cache_misses=int(obj.get("cache_misses", 0)),
+            retries=int(obj.get("retries", 0)),
         )
 
 
@@ -136,15 +141,22 @@ class SweepReport:
 
     @classmethod
     def from_obj(cls, obj: dict) -> "SweepReport":
-        """Rebuild a report from its JSON form (derived fields recomputed)."""
+        """Rebuild a report from its JSON form (derived fields recomputed).
+
+        Tolerant of **newer** schema versions: fields this build doesn't
+        know are ignored, and auxiliary fields fall back to defaults —
+        only the sweep's identity (seeds/scale/executor/workers) and the
+        aggregation parameters are required.  Scrapers that need strict
+        parsing should compare ``schema_version`` themselves.
+        """
         cache_obj = obj.get("cache")
         cache = None
         if cache_obj is not None:
             cache = CacheStats(
-                hits=int(cache_obj["hits"]),
-                misses=int(cache_obj["misses"]),
-                stores=int(cache_obj["stores"]),
-                evictions=int(cache_obj["evictions"]),
+                hits=int(cache_obj.get("hits", 0)),
+                misses=int(cache_obj.get("misses", 0)),
+                stores=int(cache_obj.get("stores", 0)),
+                evictions=int(cache_obj.get("evictions", 0)),
             )
         return cls(
             seeds=tuple(int(s) for s in obj["seeds"]),
@@ -154,12 +166,18 @@ class SweepReport:
             n_windows=int(obj["n_windows"]),
             confidence=float(obj["confidence"]),
             bootstrap_samples=int(obj["bootstrap_samples"]),
-            seed_runs=[SeedRunMetrics.from_obj(r) for r in obj["seed_runs"]],
-            statistics=[StatisticSummary.from_obj(s) for s in obj["statistics"]],
-            skipped_statistics=[str(n) for n in obj["skipped_statistics"]],
+            seed_runs=[
+                SeedRunMetrics.from_obj(r) for r in obj.get("seed_runs", [])
+            ],
+            statistics=[
+                StatisticSummary.from_obj(s) for s in obj.get("statistics", [])
+            ],
+            skipped_statistics=[
+                str(n) for n in obj.get("skipped_statistics", [])
+            ],
             cache=cache,
-            total_wall_s=float(obj["total_wall_s"]),
-            pool_rebuilds=int(obj["pool_rebuilds"]),
+            total_wall_s=float(obj.get("total_wall_s", 0.0)),
+            pool_rebuilds=int(obj.get("pool_rebuilds", 0)),
         )
 
     def to_json(self) -> str:

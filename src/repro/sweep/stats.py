@@ -44,9 +44,12 @@ __all__ = [
     "StatisticSummary",
     "bootstrap_ci",
     "evaluate_statistics",
+    "evaluate_statistics_from_store",
     "get_statistic",
     "register_statistic",
+    "register_store_evaluator",
     "registered_statistics",
+    "store_supported_statistics",
     "summarize_statistic",
     "unregister_statistic",
 ]
@@ -192,17 +195,23 @@ class StatisticSummary:
 
     @classmethod
     def from_obj(cls, obj: dict) -> "StatisticSummary":
+        """Parse the JSON form; unknown fields are ignored.
+
+        The statistic's identity (name/seeds/values) and the interval are
+        required; descriptive fields written by a newer schema version may
+        be absent and fall back to defaults.
+        """
         return cls(
             name=str(obj["name"]),
-            description=str(obj["description"]),
-            unit=str(obj["unit"]),
-            confidence=float(obj["confidence"]),
-            n_boot=int(obj["n_boot"]),
+            description=str(obj.get("description", "")),
+            unit=str(obj.get("unit", "")),
+            confidence=float(obj.get("confidence", 0.95)),
+            n_boot=int(obj.get("n_boot", 0)),
             seeds=tuple(int(s) for s in obj["seeds"]),
             values=tuple(float(v) for v in obj["values"]),
             mean=float(obj["mean"]),
-            median=float(obj["median"]),
-            std=float(obj["std"]),
+            median=float(obj.get("median", obj["mean"])),
+            std=float(obj.get("std", 0.0)),
             ci_low=float(obj["ci_low"]),
             ci_high=float(obj["ci_high"]),
         )
@@ -380,3 +389,169 @@ def _register_builtins() -> None:
 
 
 _register_builtins()
+
+
+# -- store-side evaluation ----------------------------------------------------
+#
+# A statistic evaluated through :mod:`repro.store.query` never materialises
+# row objects: predicates push into column stats and only the projected
+# column is decoded.  Not every registered statistic is query-expressible
+# (e.g. handovers-per-mile needs a per-test join), so store evaluators form
+# a parallel, partial registry over the same names — values are identical
+# to the row path on the same data.
+
+#: Evaluator over a store source: ``fn(source, seeds) -> float``.
+StoreStatisticFn = Callable[..., float]
+
+_STORE_EVALUATORS: dict[str, StoreStatisticFn] = {}
+
+
+def register_store_evaluator(name: str, fn: StoreStatisticFn) -> None:
+    """Attach a store-side evaluator to a registered statistic."""
+    get_statistic(name)  # fail fast on unknown names
+    _STORE_EVALUATORS[name] = fn
+
+
+def store_supported_statistics() -> tuple[str, ...]:
+    """Statistic names evaluable through the columnar query engine."""
+    return tuple(_STORE_EVALUATORS)
+
+
+def evaluate_statistics_from_store(
+    source,
+    names: Iterable[str] | None = None,
+    *,
+    seeds: tuple[int, ...] | None = None,
+) -> dict[str, float]:
+    """Evaluate statistics on a store source (reader or catalog).
+
+    ``names`` defaults to every store-supported statistic; naming one
+    without a store evaluator raises :class:`SweepError`.  Like the row
+    path, a statistic that cannot be computed on this data yields ``NaN``.
+    """
+    chosen = store_supported_statistics() if names is None else tuple(names)
+    out: dict[str, float] = {}
+    for name in chosen:
+        fn = _STORE_EVALUATORS.get(name)
+        if fn is None:
+            get_statistic(name)  # unknown name beats unsupported name
+            raise SweepError(
+                f"statistic {name!r} has no store evaluator; "
+                f"supported: {sorted(_STORE_EVALUATORS)}"
+            )
+        try:
+            value = float(fn(source, seeds))
+        except (ReproError, ValueError, ZeroDivisionError):
+            value = math.nan
+        out[name] = value if math.isfinite(value) else math.nan
+    return out
+
+
+def _meta_total(source, attr: str, seeds: tuple[int, ...] | None) -> float:
+    """Sum a per-operator metadata counter over the selected partitions."""
+    from repro.store.catalog import Catalog
+
+    readers = source.readers(seeds) if isinstance(source, Catalog) else [source]
+    return float(sum(sum(getattr(r, attr).values()) for r in readers))
+
+
+def _register_store_builtins() -> None:
+    from repro.analysis.coverage import passive_coverage_shares_from_store
+
+    def q():
+        from repro.store import query
+
+        return query
+
+    for op in Operator:
+        code = op.code
+
+        register_store_evaluator(
+            f"coverage_5g_share_{code}",
+            lambda src, seeds, op=op: passive_coverage_shares_from_store(
+                src, op, seeds=seeds
+            ).share_5g,
+        )
+        register_store_evaluator(
+            f"coverage_hs5g_share_{code}",
+            lambda src, seeds, op=op: passive_coverage_shares_from_store(
+                src, op, seeds=seeds
+            ).share_high_speed_5g,
+        )
+        for direction in ("downlink", "uplink"):
+            register_store_evaluator(
+                f"driving_{direction[0]}l_median_mbps_{code}",
+                lambda src, seeds, op=op, d=direction: q().percentile(
+                    src, "tput", "tput_mbps", 0.5,
+                    where=(
+                        q().Eq("operator", op),
+                        q().Eq("direction", d),
+                        q().Eq("static", False),
+                    ),
+                    seeds=seeds,
+                ),
+            )
+        register_store_evaluator(
+            f"driving_rtt_median_ms_{code}",
+            lambda src, seeds, op=op: q().percentile(
+                src, "rtt", "rtt_ms", 0.5,
+                where=(q().Eq("operator", op), q().Eq("static", False)),
+                seeds=seeds,
+            ),
+        )
+
+    def _below_5mbps(src, seeds) -> float:
+        query = q()
+        driving_dl = (query.Eq("direction", "downlink"), query.Eq("static", False))
+        total = query.count(src, "tput", driving_dl, seeds=seeds)
+        if total == 0:
+            return math.nan
+        below = query.count(
+            src, "tput",
+            driving_dl + (query.Between("tput_mbps", hi=5.0, hi_inclusive=False),),
+            seeds=seeds,
+        )
+        return below / total
+
+    register_store_evaluator("driving_dl_below_5mbps_fraction", _below_5mbps)
+    register_store_evaluator(
+        "driving_rtt_p95_ms",
+        lambda src, seeds: q().percentile(
+            src, "rtt", "rtt_ms", 0.95,
+            where=(q().Eq("static", False),), seeds=seeds,
+        ),
+    )
+    register_store_evaluator(
+        "unique_cells_total",
+        lambda src, seeds: _meta_total(src, "connected_cells", seeds),
+    )
+    register_store_evaluator(
+        "passive_handovers_total",
+        lambda src, seeds: _meta_total(src, "passive_handover_counts", seeds),
+    )
+    for app in ("AR", "CAV"):
+        register_store_evaluator(
+            f"{app.lower()}_e2e_median_ms",
+            lambda src, seeds, app=app: q().percentile(
+                src, "offload", "median_e2e_ms", 0.5,
+                where=(q().Eq("app", app), q().Eq("static", False)),
+                seeds=seeds,
+            ),
+        )
+    register_store_evaluator(
+        "video_qoe_median",
+        lambda src, seeds: q().percentile(
+            src, "video", "qoe", 0.5,
+            where=(q().Eq("static", False),), seeds=seeds,
+        ),
+    )
+    register_store_evaluator(
+        "gaming_bitrate_median_mbps",
+        lambda src, seeds: q().percentile(
+            src, "gaming", "avg_bitrate_mbps", 0.5,
+            where=(q().Eq("static", False),), seeds=seeds,
+        ),
+    )
+
+
+_register_store_builtins()

@@ -146,3 +146,38 @@ class TestErrorHandling:
             fh.write(json.dumps({"kind": "mystery"}) + "\n")
         with pytest.raises(LogFormatError):
             load_dataset(path)
+
+
+class TestColumnarBackend:
+    """save/load dispatch to the columnar store backend transparently."""
+
+    def test_auto_format_by_suffix(self, bare_dataset, tmp_path):
+        from repro.store import is_store_file
+
+        path = tmp_path / "dataset.rcol"
+        save_dataset(bare_dataset, path)
+        assert is_store_file(path)
+        back = load_dataset(path)
+        assert back.throughput_samples == bare_dataset.throughput_samples
+        assert back.passive_coverage == bare_dataset.passive_coverage
+
+    def test_explicit_format_overrides_suffix(self, bare_dataset, tmp_path):
+        from repro.store import is_store_file
+
+        path = tmp_path / "dataset.jsonl.gz"
+        save_dataset(bare_dataset, path, format="columnar")
+        assert is_store_file(path)
+        # load_dataset sniffs magic, not the suffix, so this still loads.
+        back = load_dataset(path)
+        assert back.rtt_samples == bare_dataset.rtt_samples
+
+    def test_unknown_format_rejected(self, bare_dataset, tmp_path):
+        with pytest.raises(ValueError, match="unknown dataset format"):
+            save_dataset(bare_dataset, tmp_path / "x", format="parquet")
+
+    def test_both_backends_value_identical(self, bare_dataset, tmp_path):
+        row_path = tmp_path / "row.jsonl.gz"
+        col_path = tmp_path / "col.rcol"
+        save_dataset(bare_dataset, row_path, format="jsonl")
+        save_dataset(bare_dataset, col_path, format="columnar")
+        assert load_dataset(row_path) == load_dataset(col_path)

@@ -1,0 +1,172 @@
+"""Store file format: exact round-trip, byte stability, corruption safety."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.format import (
+    STORE_MAGIC,
+    DatasetReader,
+    is_store_file,
+    read_dataset,
+    write_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def store_file(bare_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "bare.rcol"
+    write_dataset(bare_dataset, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_every_record_family_value_exact(self, bare_dataset, store_file):
+        back = read_dataset(store_file)
+        assert back.seed == bare_dataset.seed
+        assert back.scale == bare_dataset.scale
+        assert back.route_length_km == bare_dataset.route_length_km
+        assert back.passive_handover_counts == bare_dataset.passive_handover_counts
+        assert back.connected_cells == bare_dataset.connected_cells
+        # Frozen slots dataclasses compare field-by-field: equality here is
+        # value-for-value across every column, floats bit-for-bit.
+        assert back.throughput_samples == bare_dataset.throughput_samples
+        assert back.rtt_samples == bare_dataset.rtt_samples
+        assert back.tests == bare_dataset.tests
+        assert back.handovers == bare_dataset.handovers
+        assert back.passive_coverage == bare_dataset.passive_coverage
+        assert back.offload_runs == bare_dataset.offload_runs
+        assert back.video_runs == bare_dataset.video_runs
+        assert back.gaming_runs == bare_dataset.gaming_runs
+
+    def test_full_campaign_dataset_roundtrip(self, dataset, tmp_path):
+        # The apps + static dataset exercises every table non-empty.
+        path = tmp_path / "full.rcol"
+        write_dataset(dataset, path)
+        back = read_dataset(path)
+        assert back.offload_runs == dataset.offload_runs
+        assert back.video_runs == dataset.video_runs
+        assert back.gaming_runs == dataset.gaming_runs
+        assert back.throughput_samples == dataset.throughput_samples
+
+    def test_byte_stable(self, bare_dataset, store_file, tmp_path):
+        again = tmp_path / "again.rcol"
+        write_dataset(copy.deepcopy(bare_dataset), again)
+        assert again.read_bytes() == store_file.read_bytes()
+
+    def test_is_store_file(self, store_file, tmp_path):
+        assert is_store_file(store_file)
+        other = tmp_path / "not-a-store.bin"
+        other.write_bytes(b"\x1f\x8b some gzip-ish bytes")
+        assert not is_store_file(other)
+        assert not is_store_file(tmp_path / "missing.rcol")
+
+
+class TestReader:
+    def test_footer_stats_without_decoding(self, store_file, bare_dataset):
+        with DatasetReader(store_file) as reader:
+            table = reader.table("tput")
+            assert table.count == len(bare_dataset.throughput_samples)
+            stats = table.stats("tput_mbps")
+            values = [s.tput_mbps for s in bare_dataset.throughput_samples]
+            assert stats.min == min(values)
+            assert stats.max == max(values)
+            ops = set(table.dict_values("operator"))
+            assert ops == {
+                s.operator.name for s in bare_dataset.throughput_samples
+            }
+
+    def test_unknown_table_and_column(self, store_file):
+        with DatasetReader(store_file) as reader:
+            with pytest.raises(StoreError, match="no table"):
+                reader.table("nope")
+            with pytest.raises(StoreError, match="no column"):
+                reader.table("tput").column_entry("nope")
+
+    def test_closed_reader_refuses_reads(self, store_file):
+        reader = DatasetReader(store_file)
+        reader.close()
+        with pytest.raises(StoreError, match="closed"):
+            reader.table("tput").array("tput_mbps")
+
+
+class TestCorruption:
+    """Damaged files fail with a clean StoreError — never garbage rows."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.rcol"
+        path.write_bytes(b"")
+        with pytest.raises(StoreError, match="empty"):
+            DatasetReader(path)
+
+    def test_bad_magic(self, store_file, tmp_path):
+        data = bytearray(store_file.read_bytes())
+        data[:8] = b"NOTMAGIC"
+        path = tmp_path / "badmagic.rcol"
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="magic"):
+            DatasetReader(path)
+
+    @pytest.mark.parametrize("keep_fraction", [0.25, 0.5, 0.9, 0.999])
+    def test_truncation_anywhere_is_detected(
+        self, store_file, tmp_path, keep_fraction
+    ):
+        data = store_file.read_bytes()
+        cut = tmp_path / f"cut-{keep_fraction}.rcol"
+        cut.write_bytes(data[: int(len(data) * keep_fraction)])
+        with pytest.raises(StoreError):
+            read_dataset(cut)
+
+    def test_truncated_tail_only(self, store_file, tmp_path):
+        data = store_file.read_bytes()
+        path = tmp_path / "tail.rcol"
+        path.write_bytes(data[:-4])
+        with pytest.raises(StoreError, match="truncated|corrupt"):
+            DatasetReader(path)
+
+    def test_footer_version_mismatch(self, store_file, tmp_path, monkeypatch):
+        import repro.store.format as fmt
+
+        monkeypatch.setattr(fmt, "STORE_FORMAT_VERSION", 99)
+        with pytest.raises(StoreError, match="unsupported store format"):
+            DatasetReader(store_file)
+
+    def test_column_span_outside_data_section(self, bare_dataset, tmp_path):
+        # Hand-corrupt the footer so a column claims bytes past the data
+        # section; the reader must refuse the slice.
+        import json
+        import struct
+
+        path = tmp_path / "span.rcol"
+        write_dataset(bare_dataset, path)
+        data = bytearray(path.read_bytes())
+        tail = struct.Struct("<QI4s")
+        offset, length, _magic = tail.unpack(data[-tail.size:])
+        footer = json.loads(bytes(data[offset: offset + length]))
+        footer["tables"]["tput"]["columns"][0]["offset"] = offset + 1
+        new_footer = json.dumps(footer, sort_keys=True,
+                                separators=(",", ":")).encode()
+        rebuilt = (
+            bytes(data[:offset]) + new_footer
+            + tail.pack(offset, len(new_footer), b"RCOL")
+        )
+        path.write_bytes(rebuilt)
+        with pytest.raises(StoreError, match="outside the data section"):
+            with DatasetReader(path) as reader:
+                reader.table("tput").array("test_id")
+
+    def test_not_a_store_file_via_load_dataset(self, tmp_path):
+        from repro.errors import LogFormatError
+        from repro.campaign.persistence import load_dataset
+
+        path = tmp_path / "junk.rcol"
+        path.write_bytes(STORE_MAGIC + b"\x00" * 3)  # magic but no tail
+        with pytest.raises(StoreError):
+            load_dataset(path)
+        junk = tmp_path / "junk2.jsonl.gz"
+        junk.write_bytes(b"definitely not gzip")
+        with pytest.raises((LogFormatError, OSError)):
+            load_dataset(junk)
