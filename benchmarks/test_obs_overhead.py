@@ -1,0 +1,121 @@
+"""Observability overhead — disabled tracing must cost nothing measurable.
+
+Two measurements, both asserted like the store benchmark:
+
+* **null-span microbenchmark** — the disabled tracer's ``span()`` context
+  is one shared no-op object; entering it must cost well under a
+  microsecond, so the instrumentation points sprinkled through the engine
+  (a handful per shard) are free when ``--trace`` is off;
+* **engine wall time, traced vs untraced** — a full serial engine run with
+  tracing enabled must stay within a bounded factor of the untraced run,
+  and the *estimated* disabled-path overhead (spans-per-run × ns-per-span)
+  must be far inside the untraced run's own noise.
+
+Numbers land in ``benchmarks/_reports/obs_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.campaign.runner import CampaignConfig
+from repro.engine import EngineConfig, PlannerParams, run_engine
+from repro.obs.trace import NULL_TRACER, get_tracer, iter_trace, reset_tracers
+from repro.reporting.tables import render_table
+
+#: Iterations for the null-span microbenchmark.
+N_SPANS = 200_000
+#: Engine repetitions per variant; best-of guards against scheduler noise.
+REPS = 3
+#: Per-null-span budget: generous for CI jitter, still sub-microsecond.
+NULL_SPAN_BUDGET_S = 1e-6
+#: A traced run may cost at most this factor of the untraced run.
+TRACED_FACTOR_BOUND = 1.5
+
+CAMPAIGN = CampaignConfig(
+    seed=42, scale=0.004, include_apps=False, include_static=False
+)
+PLANNER = PlannerParams(window_km=600.0)
+
+
+def _null_span_seconds() -> float:
+    """Net per-iteration cost of entering/exiting a disabled span."""
+    span = NULL_TRACER.span  # bind once, as instrumented call sites do
+
+    started = time.perf_counter()
+    for _ in range(N_SPANS):
+        pass
+    empty_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(N_SPANS):
+        with span("bench.noop", index=0):
+            pass
+    null_s = time.perf_counter() - started
+    return max(null_s - empty_s, 0.0) / N_SPANS
+
+
+def _engine_seconds(trace_path) -> float:
+    config = EngineConfig(
+        campaign=CAMPAIGN,
+        executor="serial",
+        planner=PLANNER,
+        trace_path=str(trace_path) if trace_path else None,
+    )
+    started = time.perf_counter()
+    run_engine(config)
+    return time.perf_counter() - started
+
+
+def test_obs_overhead(tmp_path, report):
+    per_span_s = _null_span_seconds()
+
+    untraced, traced = [], []
+    try:
+        for rep in range(REPS):
+            # Interleave variants so drift penalises neither side.
+            untraced.append(_engine_seconds(None))
+            traced.append(_engine_seconds(tmp_path / f"trace-{rep}.jsonl"))
+        n_spans = sum(
+            1 for r in iter_trace(tmp_path / "trace-0.jsonl")
+            if r["kind"] == "span"
+        )
+    finally:
+        reset_tracers()
+
+    untraced_best = min(untraced)
+    traced_best = min(traced)
+    factor = traced_best / untraced_best if untraced_best > 0 else 1.0
+    # What the same run pays when tracing is OFF: every instrumented site
+    # still calls the null tracer, so its cost is spans × ns-per-span.
+    disabled_overhead_s = n_spans * per_span_s
+
+    report(
+        "obs_overhead",
+        render_table(
+            ["measurement", "value"],
+            [
+                ["null span cost", f"{per_span_s * 1e9:.0f} ns"],
+                ["spans per engine run", f"{n_spans}"],
+                ["disabled overhead / run", f"{disabled_overhead_s * 1e6:.1f} us"],
+                ["engine untraced (best)", f"{untraced_best:.3f} s"],
+                ["engine traced (best)", f"{traced_best:.3f} s"],
+                ["traced / untraced", f"{factor:.3f}x"],
+            ],
+        ),
+    )
+
+    # Disabled: per-site cost must be sub-microsecond, and a whole run's
+    # worth of null spans must vanish inside the run's own wall time.
+    assert per_span_s < NULL_SPAN_BUDGET_S, (
+        f"null span costs {per_span_s * 1e9:.0f} ns"
+    )
+    assert disabled_overhead_s < 0.01 * untraced_best, (
+        f"disabled tracing would cost {disabled_overhead_s * 1e3:.3f} ms "
+        f"of a {untraced_best:.3f} s run"
+    )
+    # Enabled: bounded, not free — JSONL appends are real I/O.
+    assert factor <= TRACED_FACTOR_BOUND, (
+        f"traced run {factor:.2f}x slower than untraced "
+        f"(bound {TRACED_FACTOR_BOUND}x)"
+    )

@@ -67,6 +67,8 @@ from repro.engine.worker import (
 )
 from repro.errors import EngineError
 from repro.geo.route import Route, build_cross_country_route
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "EngineConfig",
@@ -128,6 +130,13 @@ class EngineConfig:
     #: Columnar store catalog directory (:class:`repro.store.Catalog`); the
     #: merged dataset is ingested as a per-seed partition.  ``None`` skips.
     store_dir: str | None = None
+    #: JSONL trace file (see :mod:`repro.obs`): phase spans, per-shard
+    #: worker spans, and a merged metrics snapshot are appended there, and
+    #: ``EngineReport.metrics`` is populated.  ``None`` (the default)
+    #: disables tracing entirely — every instrumentation point degrades to
+    #: the no-op tracer.  Deliberately excluded from the checkpoint/cache
+    #: fingerprint: tracing may never change what gets computed.
+    trace_path: str | None = None
     #: Testing hook: per-window injected faults (see :class:`FaultSpec`).
     inject_faults: Mapping[int, FaultSpec] = field(default_factory=dict)
 
@@ -150,8 +159,13 @@ def build_task_batches(
     passive_pending: bool,
     fingerprint: str,
     route: Route | None,
+    trace_parent: str | None = None,
 ) -> list[tuple[ShardTask, ...]]:
-    """Group pending work into submission batches (passive shard first)."""
+    """Group pending work into submission batches (passive shard first).
+
+    ``trace_parent`` is the orchestrator's execute-span id; it rides on
+    every task so worker-emitted shard spans attach under it.
+    """
 
     def task(window: CampaignWindow | None) -> ShardTask:
         index = PASSIVE_SHARD_INDEX if window is None else window.index
@@ -163,6 +177,8 @@ def build_task_batches(
             fault=config.inject_faults.get(index),
             parent_pid=os.getpid(),
             route=route,
+            trace_path=config.trace_path,
+            trace_parent=trace_parent,
         )
 
     batches: list[tuple[ShardTask, ...]] = []
@@ -421,100 +437,151 @@ def run_engine(
     results are stored back.  ``pool`` lets repeated calls share one
     :class:`WorkerPool` instead of spinning up a process pool per run.
     """
+    tracer = get_tracer(config.trace_path)
     started = time.perf_counter()
-    campaign_route = route or build_cross_country_route()
-    plan = plan_campaign(config.campaign, campaign_route, config.planner)
-    fingerprint = config_fingerprint(config.campaign, plan)
-    indices = [PASSIVE_SHARD_INDEX] + [w.index for w in plan.windows]
-
-    results: dict[int, ShardResult] = {}
-    retries: dict[int, int] = {}
-    if config.checkpoint_dir is not None:
-        store = CheckpointStore(config.checkpoint_dir, fingerprint)
-        results.update(store.load_all(indices))
-        retries.update({index: 0 for index in results})
-
-    cache_hits = cache_misses = 0
-    if shard_store is not None:
-        remaining = [i for i in indices if i not in results]
-        cached = shard_store.load_many(
-            fingerprint, config.campaign.seed, remaining
-        )
-        for result in cached.values():
-            result.from_cache = True
-        results.update(cached)
-        retries.update({index: 0 for index in cached})
-        cache_hits = len(cached)
-        cache_misses = len(remaining) - len(cached)
-
-    pending = [w for w in plan.windows if w.index not in results]
-    passive_pending = PASSIVE_SHARD_INDEX not in results
-    batches = build_task_batches(
-        config, plan, pending, passive_pending, fingerprint, route
-    )
-
-    def on_result(tag: Hashable, outcomes: list[ShardResult], attempt: int) -> None:
-        for outcome in outcomes:
-            results[outcome.index] = outcome
-            retries[outcome.index] = attempt
-            if shard_store is not None:
-                shard_store.store(fingerprint, config.campaign.seed, outcome)
-
-    stats = execute_jobs(
-        list(enumerate(batches)),
-        on_result,
+    with tracer.span(
+        "engine.run",
+        seed=config.campaign.seed,
+        scale=config.campaign.scale,
         executor=config.executor,
-        workers=config.workers,
-        max_retries=config.max_retries,
-        pool=pool,
-    )
+    ) as root:
+        with tracer.span("engine.plan"):
+            campaign_route = route or build_cross_country_route()
+            plan = plan_campaign(config.campaign, campaign_route, config.planner)
+            fingerprint = config_fingerprint(config.campaign, plan)
+        indices = [PASSIVE_SHARD_INDEX] + [w.index for w in plan.windows]
 
-    report = EngineReport(
-        executor=stats.executor,
-        workers=stats.workers,
-        n_windows=plan.n_windows,
-        n_batches=len(batches),
-        pool_rebuilds=stats.pool_rebuilds,
-        cache_hits=cache_hits,
-        cache_misses=cache_misses,
-    )
+        results: dict[int, ShardResult] = {}
+        retries: dict[int, int] = {}
+        if config.checkpoint_dir is not None:
+            with tracer.span("engine.checkpoint.load") as sp:
+                store = CheckpointStore(config.checkpoint_dir, fingerprint)
+                results.update(store.load_all(indices))
+                retries.update({index: 0 for index in results})
+                sp.set(hits=len(results))
 
-    merge_started = time.perf_counter()
-    dataset = merge_shard_results(
-        config.campaign, plan, results, campaign_route.total_length_km
-    )
-    report.merge_s = time.perf_counter() - merge_started
+        cache_hits = cache_misses = 0
+        if shard_store is not None:
+            with tracer.span("engine.cache.load") as sp:
+                remaining = [i for i in indices if i not in results]
+                cached = shard_store.load_many(
+                    fingerprint, config.campaign.seed, remaining
+                )
+                for result in cached.values():
+                    result.from_cache = True
+                results.update(cached)
+                retries.update({index: 0 for index in cached})
+                cache_hits = len(cached)
+                cache_misses = len(remaining) - len(cached)
+                sp.set(hits=cache_hits, misses=cache_misses)
 
-    window_span = {w.index: (w.start_m, w.end_m) for w in plan.windows}
-    window_span[PASSIVE_SHARD_INDEX] = (0.0, campaign_route.total_length_m)
-    report.shards = [
-        ShardMetrics(
-            index=index,
-            start_km=window_span[index][0] / 1000.0,
-            end_km=window_span[index][1] / 1000.0,
-            wall_s=result.wall_s,
-            records=result.records,
-            retries=retries.get(index, 0),
-            from_checkpoint=result.from_checkpoint,
-            from_cache=result.from_cache,
-        )
-        for index, result in sorted(results.items())
-    ]
-    report.total_wall_s = time.perf_counter() - started
+        pending = [w for w in plan.windows if w.index not in results]
+        passive_pending = PASSIVE_SHARD_INDEX not in results
 
-    if config.validate:
-        outcome = validate_dataset(dataset)
-        report.validated = True
-        if not outcome.ok:
-            raise EngineError(
-                "merged dataset failed validation: "
-                + "; ".join(str(issue) for issue in outcome.issues[:5])
+        def on_result(
+            tag: Hashable, outcomes: list[ShardResult], attempt: int
+        ) -> None:
+            for outcome in outcomes:
+                results[outcome.index] = outcome
+                retries[outcome.index] = attempt
+                if shard_store is not None:
+                    shard_store.store(fingerprint, config.campaign.seed, outcome)
+
+        with tracer.span("engine.execute") as exec_span:
+            batches = build_task_batches(
+                config, plan, pending, passive_pending, fingerprint, route,
+                trace_parent=exec_span.span_id,
             )
-    if config.store_dir is not None:
-        from repro.store.catalog import Catalog
+            exec_span.set(batches=len(batches))
+            stats = execute_jobs(
+                list(enumerate(batches)),
+                on_result,
+                executor=config.executor,
+                workers=config.workers,
+                max_retries=config.max_retries,
+                pool=pool,
+            )
 
-        with Catalog(config.store_dir) as catalog:
-            catalog.ingest(dataset)
+        report = EngineReport(
+            executor=stats.executor,
+            workers=stats.workers,
+            n_windows=plan.n_windows,
+            n_batches=len(batches),
+            pool_rebuilds=stats.pool_rebuilds,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+
+        merge_started = time.perf_counter()
+        with tracer.span("engine.merge", seed=config.campaign.seed) as merge_span:
+            dataset = merge_shard_results(
+                config.campaign, plan, results, campaign_route.total_length_km
+            )
+            report.merge_s = time.perf_counter() - merge_started
+            # Freeze the span to the report's merge_s: the trace and the
+            # report must quote the *same* float.
+            merge_span.dur_s = report.merge_s
+
+        window_span = {w.index: (w.start_m, w.end_m) for w in plan.windows}
+        window_span[PASSIVE_SHARD_INDEX] = (0.0, campaign_route.total_length_m)
+        report.shards = [
+            ShardMetrics(
+                index=index,
+                start_km=window_span[index][0] / 1000.0,
+                end_km=window_span[index][1] / 1000.0,
+                wall_s=result.wall_s,
+                records=result.records,
+                retries=retries.get(index, 0),
+                from_checkpoint=result.from_checkpoint,
+                from_cache=result.from_cache,
+            )
+            for index, result in sorted(results.items())
+        ]
+
+        if config.validate:
+            with tracer.span("engine.validate"):
+                outcome = validate_dataset(dataset)
+                report.validated = True
+                if not outcome.ok:
+                    raise EngineError(
+                        "merged dataset failed validation: "
+                        + "; ".join(str(issue) for issue in outcome.issues[:5])
+                    )
+        if config.store_dir is not None:
+            from repro.store.catalog import Catalog
+
+            with tracer.span("engine.ingest", seed=config.campaign.seed):
+                with Catalog(config.store_dir) as catalog:
+                    catalog.ingest(dataset)
+
+        if tracer.enabled:
+            driver = MetricsRegistry()
+            driver.count("engine.runs", 1)
+            driver.count("engine.cache.hits", cache_hits)
+            driver.count("engine.cache.misses", cache_misses)
+            driver.count("engine.pool_rebuilds", stats.pool_rebuilds)
+            driver.count("engine.retries", sum(retries.values()))
+            # Fold worker snapshots in sorted shard order so the merged
+            # section is identical for every executor topology; replayed
+            # shards (checkpoint/cache) are skipped — their snapshots
+            # describe the run that computed them, not this one.
+            report.metrics = merge_snapshots(
+                [driver.snapshot()]
+                + [
+                    result.metrics
+                    for _, result in sorted(results.items())
+                    if result.metrics is not None
+                    and not (result.from_checkpoint or result.from_cache)
+                ]
+            )
+            tracer.emit_metrics(report.metrics, scope="engine")
+
+        # total_wall_s and the root span must quote the SAME float, so the
+        # per-phase breakdown printed by ``python -m repro.obs`` sums to
+        # the report total exactly.
+        report.total_wall_s = time.perf_counter() - started
+        root.dur_s = report.total_wall_s
+
     if config.report_path is not None:
         report.save(config.report_path)
     return dataset, report
@@ -535,6 +602,7 @@ def generate_dataset_parallel(
     validate: bool = False,
     store_dir: str | None = None,
     window_km: float | None = None,
+    trace_path: str | None = None,
 ) -> DriveDataset:
     """Generate a campaign dataset on all available cores.
 
@@ -558,6 +626,8 @@ def generate_dataset_parallel(
         (:mod:`repro.store`) at this directory.
     window_km:
         Override the planner's adaptive shard window length.
+    trace_path:
+        Append a structured JSONL trace (:mod:`repro.obs`) to this file.
     """
     config = EngineConfig(
         campaign=CampaignConfig(
@@ -573,6 +643,7 @@ def generate_dataset_parallel(
         report_path=report_path,
         validate=validate,
         store_dir=store_dir,
+        trace_path=trace_path,
     )
     dataset, _report = run_engine(config)
     return dataset

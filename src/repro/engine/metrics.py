@@ -21,8 +21,10 @@ __all__ = ["ShardMetrics", "EngineReport", "REPORT_SCHEMA_VERSION"]
 #: Version of the JSON report format.  Bump whenever a field is added,
 #: removed, or changes meaning; scrapers compare it before parsing.
 #: History: 1 = initial engine report; 2 = adds schema_version itself,
-#: per-shard ``from_cache``, and run-level ``cache_hits``/``cache_misses``.
-REPORT_SCHEMA_VERSION = 2
+#: per-shard ``from_cache``, and run-level ``cache_hits``/``cache_misses``;
+#: 3 = per-shard ``wall_s`` at full precision, optional run-level
+#: ``metrics`` snapshot (see ``repro.obs.metrics``).
+REPORT_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,11 +41,19 @@ class ShardMetrics:
     from_cache: bool = False
 
     def to_obj(self) -> dict:
+        # Rounding policy: the route span (start_km/end_km) is rounded —
+        # it is cosmetic positioning, metre precision in a JSON report
+        # buys nothing.  Timings are NOT rounded: ``wall_s`` must carry
+        # full float precision so critical-path sums reconstructed by
+        # ``python -m repro.obs`` from the trace agree with report totals
+        # exactly instead of drifting by the rounding error times the
+        # shard count.  (Schema v2 rounded wall_s to 4 decimals; v3 fixed
+        # that.)
         return {
             "index": self.index,
             "start_km": round(self.start_km, 3),
             "end_km": round(self.end_km, 3),
-            "wall_s": round(self.wall_s, 4),
+            "wall_s": self.wall_s,
             "records": self.records,
             "retries": self.retries,
             "from_checkpoint": self.from_checkpoint,
@@ -87,6 +97,11 @@ class EngineReport:
     #: (zero when no store is configured; checkpoints count separately).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Optional merged metrics snapshot (``repro.obs.metrics`` shape:
+    #: counters/gauges/histograms).  Populated only when the run was
+    #: traced; ``None`` keeps untraced reports byte-compatible with v2
+    #: consumers that ignore unknown fields.
+    metrics: dict | None = None
 
     @property
     def total_records(self) -> int:
@@ -124,14 +139,17 @@ class EngineReport:
         return min(self.shard_wall_s / (self.workers * self.total_wall_s), 1.0)
 
     def to_obj(self) -> dict:
-        return {
+        # Same rounding policy as ShardMetrics.to_obj: derived ratios are
+        # rounded (presentation), raw timings are not (must reconcile
+        # exactly with trace-derived sums).
+        obj = {
             "schema_version": REPORT_SCHEMA_VERSION,
             "executor": self.executor,
             "workers": self.workers,
             "n_windows": self.n_windows,
             "n_batches": self.n_batches,
-            "total_wall_s": round(self.total_wall_s, 4),
-            "merge_s": round(self.merge_s, 4),
+            "total_wall_s": self.total_wall_s,
+            "merge_s": self.merge_s,
             "pool_rebuilds": self.pool_rebuilds,
             "validated": self.validated,
             "cache_hits": self.cache_hits,
@@ -143,6 +161,9 @@ class EngineReport:
             "worker_utilisation": round(self.worker_utilisation(), 4),
             "shards": [s.to_obj() for s in self.shards],
         }
+        if self.metrics is not None:
+            obj["metrics"] = self.metrics
+        return obj
 
     @classmethod
     def from_obj(cls, obj: dict) -> "EngineReport":
@@ -166,6 +187,7 @@ class EngineReport:
             validated=bool(obj.get("validated", False)),
             cache_hits=int(obj.get("cache_hits", 0)),
             cache_misses=int(obj.get("cache_misses", 0)),
+            metrics=obj.get("metrics"),
         )
 
     def to_json(self) -> str:

@@ -31,6 +31,8 @@ from repro.campaign.dataset import DriveDataset
 from repro.campaign.runner import CampaignConfig, CampaignWindow, DriveCampaign
 from repro.errors import EngineError
 from repro.geo.route import Route, build_cross_country_route
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.radio.deployment import DeploymentModel
 from repro.radio.operators import Operator
 from repro.rng import RngFactory
@@ -76,6 +78,13 @@ class ShardTask:
     #: Custom route, if the caller supplied one; workers otherwise rebuild
     #: the canonical cross-country route themselves.
     route: Route | None = None
+    #: Trace file this shard's spans append to (``None`` = tracing off).
+    #: Workers open the file independently (O_APPEND), so the path is the
+    #: only thing that needs to cross the process boundary.
+    trace_path: str | None = None
+    #: Span id of the orchestrator's execute span, so shard spans emitted
+    #: in a worker process attach under it in the reconstructed tree.
+    trace_parent: str | None = None
 
     @property
     def index(self) -> int:
@@ -98,6 +107,10 @@ class ShardResult:
     from_checkpoint: bool = False
     #: Served from a content-addressed shard cache (see ``repro.sweep.cache``).
     from_cache: bool = False
+    #: Metrics snapshot (``repro.obs.metrics`` shape) recorded while the
+    #: shard computed; ``None`` unless the run was traced.  Rides back on
+    #: the result so per-worker registries fold into the run report.
+    metrics: dict | None = None
 
     @property
     def records(self) -> int:
@@ -175,19 +188,45 @@ def _run_passive_shard(task: ShardTask) -> ShardResult:
 
 
 def execute_shard(task: ShardTask) -> ShardResult:
-    """Run one shard to completion and return its result."""
-    _maybe_fail(task)
-    started = time.perf_counter()
-    if task.window is None:
-        result = _run_passive_shard(task)
-    else:
-        result = _run_window_shard(task)
-    result.wall_s = time.perf_counter() - started
-    if task.checkpoint_dir:
-        # Imported lazily so the worker module stays import-light.
-        from repro.engine.checkpoint import CheckpointStore
+    """Run one shard to completion and return its result.
 
-        CheckpointStore(task.checkpoint_dir, task.fingerprint).store(result)
+    When the task carries a ``trace_path``, the whole execution (including
+    an injected-fault raise, which closes the span with ``status="error"``)
+    is recorded as one ``engine.shard`` span parented under the
+    orchestrator's execute span, and a per-shard metrics snapshot travels
+    back on ``result.metrics``.  Untraced tasks hit the null tracer: no
+    allocation, no clock reads, no I/O.
+    """
+    tracer = get_tracer(task.trace_path)
+    with tracer.span(
+        "engine.shard",
+        parent=task.trace_parent,
+        index=task.index,
+        attempt=task.attempt,
+        seed=task.config.seed,
+    ) as span:
+        _maybe_fail(task)
+        started = time.perf_counter()
+        if task.window is None:
+            result = _run_passive_shard(task)
+        else:
+            result = _run_window_shard(task)
+        result.wall_s = time.perf_counter() - started
+        span.set(records=result.records)
+        if tracer.enabled:
+            registry = MetricsRegistry()
+            registry.count("engine.shards_computed")
+            registry.count("engine.records_generated", result.records)
+            registry.observe("engine.shard_s", result.wall_s)
+            result.metrics = registry.snapshot()
+        if task.checkpoint_dir:
+            # Imported lazily so the worker module stays import-light.
+            from repro.engine.checkpoint import CheckpointStore
+
+            with tracer.span("engine.checkpoint.store", index=task.index):
+                CheckpointStore(task.checkpoint_dir, task.fingerprint).store(
+                    result
+                )
     return result
 
 

@@ -1,0 +1,59 @@
+"""repro.obs — structured tracing and metrics for the reproduction pipeline.
+
+Three pieces, all dependency-free:
+
+* :mod:`repro.obs.trace` — nested spans with monotonic timing, emitted as
+  append-only JSONL that worker processes write independently;
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registries whose
+  snapshots fold deterministically into run reports;
+* :mod:`repro.obs.report` / ``python -m repro.obs`` — span-tree
+  reconstruction, per-phase wall-time breakdowns, critical paths, top-N
+  slowest shards/queries.
+
+Tracing is opt-in everywhere (``trace_path=`` on `EngineConfig` and
+`SweepConfig`, ``--trace`` on both CLIs); when off, :data:`NULL_TRACER`
+makes every instrumentation point a no-op.
+"""
+
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.report import (
+    SpanNode,
+    TraceSummary,
+    critical_path,
+    load_summary,
+    phase_breakdown,
+    render_summary,
+    top_spans,
+    validate_trace,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceWriter,
+    Tracer,
+    get_tracer,
+    iter_trace,
+    reset_tracers,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanNode",
+    "TraceSummary",
+    "TraceWriter",
+    "Tracer",
+    "critical_path",
+    "get_tracer",
+    "iter_trace",
+    "load_summary",
+    "merge_snapshots",
+    "phase_breakdown",
+    "render_summary",
+    "reset_tracers",
+    "top_spans",
+    "validate_trace",
+]

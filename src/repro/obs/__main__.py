@@ -1,0 +1,98 @@
+"""CLI: summarize a trace file written with ``--trace``.
+
+Usage::
+
+    python -m repro.obs runs/trace.jsonl
+    python -m repro.obs runs/trace.jsonl --top 10
+    python -m repro.obs runs/trace.jsonl --json
+    python -m repro.obs runs/trace.jsonl --validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.report import (
+    critical_path,
+    load_summary,
+    phase_breakdown,
+    render_summary,
+    validate_trace,
+)
+
+
+def _summary_obj(summary, top_n: int) -> dict:
+    """JSON-able form of the rendered summary (for --json)."""
+    runs = []
+    for root in summary.roots:
+        if root.orphan:
+            continue
+        runs.append({
+            "name": root.name,
+            "dur_s": root.dur_s,
+            "status": root.status,
+            "attrs": root.attrs,
+            "phases": [
+                {"name": name, "wall_s": wall, "count": count}
+                for name, wall, count in phase_breakdown(root)
+            ],
+            "critical_path": [
+                {"name": n.name, "dur_s": n.dur_s, "attrs": n.attrs}
+                for n in critical_path(root)
+            ],
+        })
+    return {
+        "n_records": summary.n_records,
+        "n_spans": len(summary.spans),
+        "n_pids": summary.n_pids,
+        "orphans": summary.orphans,
+        "runs": runs,
+        "metrics": summary.metrics,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize a repro trace file (JSONL spans + metrics).",
+    )
+    parser.add_argument("trace", help="path to a trace file written with --trace")
+    parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="show the N slowest shards/queries (default 5)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON instead of a table",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="only check trace integrity; exit 1 and list problems if any",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        problems = validate_trace(args.trace)
+        if problems:
+            for problem in problems:
+                print(f"PROBLEM: {problem}", file=sys.stderr)
+            return 1
+        print("trace ok")
+        return 0
+
+    try:
+        summary = load_summary(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(_summary_obj(summary, args.top), indent=2))
+    else:
+        print(render_summary(summary, top_n=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

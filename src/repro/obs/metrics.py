@@ -1,0 +1,124 @@
+"""Metrics: counter/gauge/histogram registry with atomic snapshot + merge.
+
+A :class:`MetricsRegistry` is a small, dependency-free accumulator:
+
+* **counters** — monotonically increasing integers (``cache.hits``);
+* **gauges** — last-written floats (``cache.total_bytes``);
+* **histograms** — streaming summaries (count/total/min/max) of observed
+  values (``engine.shard_s``); no buckets, so merging is exact.
+
+All mutation is lock-protected, and :meth:`snapshot` captures every family
+under the same lock — a snapshot is a *consistent* plain-JSON view, never a
+torn one.  Snapshots from many registries (one per engine worker, one per
+driver) fold with :func:`merge_snapshots`, which is deterministic given the
+input order: counters and histogram summaries are order-independent sums,
+and gauges take the last value in input order — callers merge worker
+snapshots in sorted shard order, so reports are stable across executor
+topology.
+
+The registry is cheap enough to leave always-on in the engine driver; the
+hot per-shard registries in worker processes are only created when tracing
+is enabled, so the disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = ["MetricsRegistry", "merge_snapshots"]
+
+
+class MetricsRegistry:
+    """Thread-safe counter/gauge/histogram accumulator."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self._hists: dict[str, list[float]] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to a counter (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one observation into a histogram summary."""
+        v = float(value)
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [1, v, v, v]
+            else:
+                hist[0] += 1
+                hist[1] += v
+                if v < hist[2]:
+                    hist[2] = v
+                if v > hist[3]:
+                    hist[3] = v
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent, JSON-able view of every metric, keys sorted."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            hists = {
+                name: {
+                    "count": int(h[0]),
+                    "total": h[1],
+                    "min": h[2],
+                    "max": h[3],
+                }
+                for name, h in sorted(self._hists.items())
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": hists}
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold snapshots into one, deterministically for a given input order.
+
+    Counters sum; histogram summaries combine exactly (sums of counts and
+    totals, min of mins, max of maxes); gauges take the last value seen in
+    input order.  Unknown or missing sections are tolerated, so snapshots
+    written by a newer schema still merge.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    hists: dict[str, dict[str, float]] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, n in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(n)
+        for name, v in snap.get("gauges", {}).items():
+            gauges[name] = float(v)
+        for name, h in snap.get("histograms", {}).items():
+            merged = hists.get(name)
+            if merged is None:
+                hists[name] = {
+                    "count": int(h.get("count", 0)),
+                    "total": float(h.get("total", 0.0)),
+                    "min": h.get("min", 0.0),
+                    "max": h.get("max", 0.0),
+                }
+            else:
+                merged["count"] += int(h.get("count", 0))
+                merged["total"] += float(h.get("total", 0.0))
+                merged["min"] = min(merged["min"], h.get("min", merged["min"]))
+                merged["max"] = max(merged["max"], h.get("max", merged["max"]))
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(hists.items())),
+    }

@@ -1,0 +1,340 @@
+"""Structured tracing: nested spans with monotonic timing, JSONL emission.
+
+A **span** is one timed region of the pipeline — an engine run, one shard's
+execution, a store query.  Spans nest: each thread keeps a stack of active
+spans, and a span opened while another is active becomes its child.  On
+close, the span is appended to the trace file as one JSON line::
+
+    {"kind": "span", "name": "engine.shard", "span_id": "1234:5678:3",
+     "parent_id": "1234:5678:2", "ts": 1723041600.123, "dur_s": 1.25,
+     "pid": 1234, "tid": 5678, "status": "ok", "attrs": {"index": 4}}
+
+Design constraints, in order:
+
+* **Near-zero overhead when disabled.**  :func:`get_tracer` returns the
+  :data:`NULL_TRACER` singleton when no trace path is configured; its
+  ``span()`` hands back one reusable no-op context manager — no allocation,
+  no clock read, no I/O.
+* **Thread- and process-safe emission.**  The writer appends whole lines
+  through one ``O_APPEND`` file descriptor per process (a single
+  ``os.write`` per record, serialised by a lock within the process, atomic
+  with respect to the file offset across processes), so engine workers open
+  the same trace file independently and lines never interleave.
+* **Crash-tolerant files.**  A span is written only when it *closes*: a
+  worker killed mid-span contributes nothing rather than a torn record, so
+  a trace file is parseable line by line no matter how the run ended.
+* **Cross-process span trees.**  Span ids are ``pid:tid:counter`` strings;
+  a parent id can be carried into a worker process (``ShardTask`` does
+  this) so shard spans attach under the engine's execute span even though
+  they were emitted by another process.
+
+Timing uses ``time.perf_counter()`` for durations (monotonic, never
+rounded) and ``time.time()`` for the start timestamp (comparable across
+processes when ordering spans for the critical path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "TraceWriter",
+    "Tracer",
+    "get_tracer",
+    "reset_tracers",
+]
+
+#: Schema version of the trace line format; recorded on every span so a
+#: reader can detect drift.  Bump on any field change.
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceWriter:
+    """Append-only JSONL writer, shared by every tracer of one process.
+
+    Each record is serialised to one line and written with a single
+    ``os.write`` on an ``O_APPEND`` descriptor: concurrent writers (other
+    worker processes appending to the same file) can interleave *lines*
+    but never bytes within a line.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fd: int | None = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._lock = threading.Lock()
+
+    def write_obj(self, obj: Mapping[str, Any]) -> None:
+        """Append one record; silently drops writes after :meth:`close`."""
+        line = json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fd is not None:
+                os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+
+class Span:
+    """One active span; hands out attribute setters and its elapsed clock."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "attrs", "status",
+        "_t0", "_ts", "dur_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: str | None,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.status = "ok"
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        #: Duration recorded in the trace.  Normally measured at context
+        #: exit; a caller may freeze it early (``span.dur_s = x``) so the
+        #: traced duration and a report field are the *same* float.
+        self.dur_s: float | None = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) span attributes."""
+        self.attrs.update(attrs)
+
+    def elapsed(self) -> float:
+        """Monotonic seconds since the span opened, full precision."""
+        return time.perf_counter() - self._t0
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "kind": "span",
+            "v": TRACE_FORMAT_VERSION,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self._ts,
+            "dur_s": self.dur_s if self.dur_s is not None else self.elapsed(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and emits it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if exc_type is not None:
+            self._span.status = "error"
+        self._tracer._finish(self._span)
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Emits nested spans (and metric snapshots) to one trace file."""
+
+    enabled = True
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.writer = TraceWriter(path)
+        self._local = threading.local()
+        self._counter = 0
+        self._counter_lock = threading.Lock()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> str:
+        with self._counter_lock:
+            self._counter += 1
+            n = self._counter
+        return f"{os.getpid()}:{threading.get_ident()}:{n}"
+
+    def current_id(self) -> str | None:
+        """Span id of the innermost active span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def span(
+        self, name: str, parent: str | None = None, **attrs: Any
+    ) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span("x") as sp:``.
+
+        ``parent`` overrides the implicit parent (this thread's innermost
+        active span) — used to attach worker-process spans under a span of
+        the orchestrating process.
+        """
+        parent_id = parent if parent is not None else self.current_id()
+        span = Span(name, self._next_id(), parent_id, attrs)
+        self._stack().append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit; drop whatever is stacked above it
+            while stack:
+                if stack.pop() is span:
+                    break
+        if span.dur_s is None:
+            span.dur_s = span.elapsed()
+        self.writer.write_obj(span.to_obj())
+
+    # -- metric snapshots --------------------------------------------------
+
+    def emit_metrics(self, snapshot: Mapping[str, Any], scope: str) -> None:
+        """Append one metrics-snapshot record (see ``repro.obs.metrics``)."""
+        self.writer.write_obj({
+            "kind": "metrics",
+            "v": TRACE_FORMAT_VERSION,
+            "scope": scope,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "snapshot": dict(snapshot),
+        })
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class NullSpan:
+    """The do-nothing span handed out by the disabled tracer."""
+
+    __slots__ = ()
+
+    #: Mirrors ``Span.span_id`` so orchestrators can thread a parent id
+    #: unconditionally; ``None`` simply means "no parent to carry".
+    span_id = None
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    # Assignments to ``dur_s`` on the null span are discarded.
+    @property
+    def dur_s(self) -> float | None:
+        return None
+
+    @dur_s.setter
+    def dur_s(self, value: float) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a reusable no-op."""
+
+    enabled = False
+
+    def span(self, name: str, parent: str | None = None, **attrs: Any) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def current_id(self) -> str | None:
+        return None
+
+    def emit_metrics(self, snapshot: Mapping[str, Any], scope: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide disabled tracer.
+NULL_TRACER = NullTracer()
+
+#: One live tracer per trace path per process, so engine workers executing
+#: many shards share a single file descriptor and span-id counter.
+_TRACERS: dict[str, Tracer] = {}
+_TRACERS_LOCK = threading.Lock()
+
+
+def get_tracer(path: str | os.PathLike | None) -> Tracer | NullTracer:
+    """The tracer for ``path`` (memoized per process), or the null tracer."""
+    if path is None:
+        return NULL_TRACER
+    key = os.path.abspath(os.fspath(path))
+    with _TRACERS_LOCK:
+        tracer = _TRACERS.get(key)
+        if tracer is None:
+            tracer = _TRACERS[key] = Tracer(key)
+        return tracer
+
+
+def reset_tracers() -> None:
+    """Close and forget every memoized tracer (tests only)."""
+    with _TRACERS_LOCK:
+        for tracer in _TRACERS.values():
+            tracer.close()
+        _TRACERS.clear()
+
+
+def iter_trace(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield every record of a trace file; raises ``ValueError`` on a
+    malformed line (the integrity tests call this directly)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: unparseable trace line: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: trace record has no 'kind' field"
+                )
+            yield record

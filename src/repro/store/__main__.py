@@ -151,7 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--explain", action="store_true",
-        help="print pushdown counters (partitions pruned, columns decoded)",
+        help="print pushdown counters (partitions pruned, columns decoded, "
+        "bytes decoded, per-predicate timings)",
+    )
+    p_query.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append a store.query span to a JSONL trace file "
+        "(summarize with python -m repro.obs FILE)",
     )
     return parser
 
@@ -212,14 +218,23 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.obs.trace import get_tracer
+
     where = _parse_where(args.table, args.where)
     qstats = QueryStats()
     agg = args.agg.lower()
     needs_column = agg != "count"
     if needs_column and args.column is None:
         raise StoreError(f"--agg {args.agg} needs --column")
+    tracer = get_tracer(args.trace)
     source = _open_source(args.source)
-    with source:
+    with source, tracer.span(
+        "store.query",
+        table=args.table,
+        column=args.column,
+        agg=agg,
+        predicates=len(where),
+    ) as span:
         kwargs = dict(seeds=args.seeds, qstats=qstats)
         if agg == "count":
             result = store_query.count(source, args.table, where, **kwargs)
@@ -254,16 +269,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 source, args.table, args.column, q, where, **kwargs
             )
             print(f"{result:.6g}")
+        span.set(
+            partitions_scanned=qstats.partitions_scanned,
+            partitions_pruned=qstats.partitions_pruned,
+            bytes_decoded=qstats.bytes_decoded,
+            rows_matched=qstats.rows_matched,
+        )
     if args.explain:
         print(
             f"pushdown: {qstats.partitions_scanned} scanned / "
             f"{qstats.partitions_pruned} pruned of "
             f"{qstats.partitions_total} partitions; "
-            f"{qstats.columns_decoded} columns decoded; "
+            f"{qstats.columns_decoded} columns decoded "
+            f"({qstats.bytes_decoded} bytes); "
             f"{qstats.predicates_short_circuited} predicates answered by stats; "
             f"{qstats.rows_matched}/{qstats.rows_total} rows matched",
             file=sys.stderr,
         )
+        for column, seconds in sorted(qstats.predicate_s.items()):
+            print(f"  predicate {column}: {seconds * 1000.0:.3f} ms",
+                  file=sys.stderr)
     return 0
 
 

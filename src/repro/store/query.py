@@ -28,7 +28,8 @@ paper's speed bins come pre-built from :func:`where_speed_bin`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
 import numpy as np
@@ -130,14 +131,22 @@ class QueryStats:
     columns_decoded: int = 0
     #: Predicates answered from footer stats alone (no column read).
     predicates_short_circuited: int = 0
+    #: Encoded bytes of every column chunk decoded — how much of the file
+    #: the query actually read past the footer.
+    bytes_decoded: int = 0
+    #: Wall seconds spent evaluating predicates, accumulated per column
+    #: (stats verdicts + mask evaluation), feeding ``--explain``.
+    predicate_s: dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "QueryStats") -> None:
         for name in (
             "partitions_total", "partitions_pruned", "partitions_scanned",
             "rows_total", "rows_matched", "columns_decoded",
-            "predicates_short_circuited",
+            "predicates_short_circuited", "bytes_decoded",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        for column, seconds in other.predicate_s.items():
+            self.predicate_s[column] = self.predicate_s.get(column, 0.0) + seconds
 
 
 # -- predicate normalisation & stats pruning ---------------------------------
@@ -225,7 +234,26 @@ def _stats_verdict(entry: dict, pred: Predicate) -> str:
 def _pred_mask(
     table: TableReader, pred: Predicate, qstats: QueryStats | None
 ) -> np.ndarray | bool:
-    """Evaluate one predicate: boolean mask, or True/False wholesale."""
+    """Evaluate one predicate: boolean mask, or True/False wholesale.
+
+    With ``qstats``, the evaluation is timed per column (accumulated in
+    ``predicate_s``); without it, no clock is read.
+    """
+    if qstats is None:
+        return _pred_mask_inner(table, pred, None)
+    t0 = time.perf_counter()
+    try:
+        return _pred_mask_inner(table, pred, qstats)
+    finally:
+        qstats.predicate_s[pred.column] = (
+            qstats.predicate_s.get(pred.column, 0.0)
+            + (time.perf_counter() - t0)
+        )
+
+
+def _pred_mask_inner(
+    table: TableReader, pred: Predicate, qstats: QueryStats | None
+) -> np.ndarray | bool:
     entry = table.column_entry(pred.column)
     verdict = _stats_verdict(entry, pred)
     if verdict != "some":
@@ -234,6 +262,7 @@ def _pred_mask(
         return verdict == "all"
     if qstats is not None:
         qstats.columns_decoded += 1
+        qstats.bytes_decoded += int(entry.get("nbytes", 0))
     arr = table.array(pred.column)
     if entry["kind"] == "dict":
         values = list(entry.get("values", ()))
@@ -354,6 +383,7 @@ def _projected(
         return np.empty(0, dtype=_EMPTY_DTYPES[entry["kind"]])
     if qstats is not None:
         qstats.columns_decoded += 1
+        qstats.bytes_decoded += int(entry.get("nbytes", 0))
     arr = table.array(column)
     if mask is True:
         return arr.copy()  # detach from the mmap
@@ -522,6 +552,9 @@ def group_total(
             continue
         if qstats is not None:
             qstats.columns_decoded += 2
+            qstats.bytes_decoded += int(entry.get("nbytes", 0)) + int(
+                tr.column_entry(column).get("nbytes", 0)
+            )
         codes = tr.array(key)
         values = tr.array(column).astype(np.float64, copy=False)
         if mask is not True:

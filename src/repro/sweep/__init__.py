@@ -67,6 +67,8 @@ from repro.engine.planner import PASSIVE_SHARD_INDEX, ShardPlan, plan_campaign
 from repro.engine.worker import ShardResult, ShardTask
 from repro.errors import EngineError, SweepError
 from repro.geo.route import Route, build_cross_country_route
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.trace import get_tracer
 from repro.sweep.cache import CacheStats, ShardCache
 from repro.sweep.report import SeedRunMetrics, SweepReport
 from repro.sweep.stats import (
@@ -119,6 +121,11 @@ class SweepConfig:
     #: every seed's merged dataset is ingested as one partition.  ``None``
     #: skips ingestion.
     store_dir: str | None = None
+    #: JSONL trace file (see :mod:`repro.obs`): the sweep's phase spans,
+    #: per-seed plan/merge spans, worker shard spans, and cache counters
+    #: all append there, and ``SweepReport.metrics`` is populated.
+    #: ``None`` (the default) disables tracing entirely.
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -168,194 +175,254 @@ def run_sweep(config: SweepConfig, route: Route | None = None) -> SweepResult:
     Raises :class:`EngineError` if any shard exhausts its retry budget, and
     :class:`SweepError` for configuration problems.
     """
+    tracer = get_tracer(config.trace_path)
+    registry = MetricsRegistry() if tracer.enabled else None
     started = time.perf_counter()
-    campaign_route = route or build_cross_country_route()
-    cache = (
-        ShardCache(config.cache_dir, config.cache_max_bytes)
-        if config.cache_dir is not None
-        else None
-    )
-
-    # -- plan every seed, replaying whatever the cache can serve ----------
-    engine_cfgs: dict[int, EngineConfig] = {}
-    plans: dict[int, ShardPlan] = {}
-    fingerprints: dict[int, str] = {}
-    results: dict[int, dict[int, ShardResult]] = {}
-    retries: dict[int, dict[int, int]] = {}
-    hits: dict[int, int] = {}
-    seed_batches: dict[int, list[tuple[ShardTask, ...]]] = {}
-
-    for seed in config.seeds:
-        engine_cfg = EngineConfig(
-            campaign=config.campaign_config(seed),
-            workers=config.workers,
-            shards=config.shards,
-            executor=config.executor,
-            planner=config.planner,
-            max_retries=config.max_retries,
-        )
-        plan = plan_campaign(engine_cfg.campaign, campaign_route, config.planner)
-        fingerprint = config_fingerprint(engine_cfg.campaign, plan)
-        indices = [PASSIVE_SHARD_INDEX] + [w.index for w in plan.windows]
-
-        seed_results: dict[int, ShardResult] = {}
-        if cache is not None:
-            seed_results.update(cache.load_many(fingerprint, seed, indices))
-
-        pending = [w for w in plan.windows if w.index not in seed_results]
-        passive_pending = PASSIVE_SHARD_INDEX not in seed_results
-        engine_cfgs[seed] = engine_cfg
-        plans[seed] = plan
-        fingerprints[seed] = fingerprint
-        results[seed] = seed_results
-        retries[seed] = {index: 0 for index in seed_results}
-        hits[seed] = len(seed_results)
-        seed_batches[seed] = build_task_batches(
-            engine_cfg, plan, pending, passive_pending, fingerprint, route
+    with tracer.span(
+        "sweep.run",
+        seeds=len(config.seeds),
+        scale=config.scale,
+        executor=config.executor,
+    ) as root:
+        campaign_route = route or build_cross_country_route()
+        cache = (
+            ShardCache(config.cache_dir, config.cache_max_bytes, metrics=registry)
+            if config.cache_dir is not None
+            else None
         )
 
-    # -- interleave all seeds' batches through one shared executor --------
-    # Round-robin across seeds so no seed's tail straggles behind another
-    # seed's entire campaign, and early seeds produce complete datasets
-    # (hence statistics) even while later seeds still execute.
-    jobs: list[tuple[Hashable, tuple[ShardTask, ...]]] = []
-    depth = max((len(b) for b in seed_batches.values()), default=0)
-    for position in range(depth):
+        # -- plan every seed, replaying whatever the cache can serve ------
+        engine_cfgs: dict[int, EngineConfig] = {}
+        plans: dict[int, ShardPlan] = {}
+        fingerprints: dict[int, str] = {}
+        results: dict[int, dict[int, ShardResult]] = {}
+        retries: dict[int, dict[int, int]] = {}
+        hits: dict[int, int] = {}
+        pendings: dict[int, list] = {}
+        passives: dict[int, bool] = {}
+        seed_batches: dict[int, list[tuple[ShardTask, ...]]] = {}
+
         for seed in config.seeds:
-            if position < len(seed_batches[seed]):
-                jobs.append(((seed, position), seed_batches[seed][position]))
-
-    def on_result(tag: Hashable, outcomes: list[ShardResult], attempt: int) -> None:
-        seed, _position = tag
-        for outcome in outcomes:
-            results[seed][outcome.index] = outcome
-            retries[seed][outcome.index] = attempt
-            if cache is not None:
-                cache.store(fingerprints[seed], seed, outcome)
-
-    # One pool for the entire sweep: execute_jobs leaves a borrowed pool
-    # running, so even future multi-call drivers would reuse this handle.
-    with WorkerPool(config.workers or os.cpu_count() or 1) as pool:
-        stats = execute_jobs(
-            jobs,
-            on_result,
-            executor=config.executor,
-            workers=config.workers,
-            max_retries=config.max_retries,
-            pool=pool,
-        )
-
-    # -- merge, validate, and report every seed ---------------------------
-    catalog = None
-    if config.store_dir is not None:
-        from repro.store.catalog import Catalog
-
-        catalog = Catalog(config.store_dir)
-    datasets: dict[int, DriveDataset] = {}
-    engine_reports: dict[int, EngineReport] = {}
-    seed_runs: list[SeedRunMetrics] = []
-    for seed in config.seeds:
-        plan = plans[seed]
-        merge_started = time.perf_counter()
-        dataset = merge_shard_results(
-            engine_cfgs[seed].campaign,
-            plan,
-            results[seed],
-            campaign_route.total_length_km,
-        )
-        merge_s = time.perf_counter() - merge_started
-        if config.validate:
-            outcome = validate_dataset(dataset)
-            if not outcome.ok:
-                raise EngineError(
-                    f"seed {seed} dataset failed validation: "
-                    + "; ".join(str(issue) for issue in outcome.issues[:5])
+            with tracer.span("sweep.plan", seed=seed) as plan_span:
+                engine_cfg = EngineConfig(
+                    campaign=config.campaign_config(seed),
+                    workers=config.workers,
+                    shards=config.shards,
+                    executor=config.executor,
+                    planner=config.planner,
+                    max_retries=config.max_retries,
+                    trace_path=config.trace_path,
                 )
-        datasets[seed] = dataset
-        if catalog is not None:
-            catalog.ingest(dataset, seed=seed)
+                plan = plan_campaign(
+                    engine_cfg.campaign, campaign_route, config.planner
+                )
+                fingerprint = config_fingerprint(engine_cfg.campaign, plan)
+                indices = [PASSIVE_SHARD_INDEX] + [w.index for w in plan.windows]
 
-        window_span = {w.index: (w.start_m, w.end_m) for w in plan.windows}
-        window_span[PASSIVE_SHARD_INDEX] = (0.0, campaign_route.total_length_m)
-        report = EngineReport(
+                seed_results: dict[int, ShardResult] = {}
+                if cache is not None:
+                    seed_results.update(cache.load_many(fingerprint, seed, indices))
+                plan_span.set(shards=len(indices), cache_hits=len(seed_results))
+
+            engine_cfgs[seed] = engine_cfg
+            plans[seed] = plan
+            fingerprints[seed] = fingerprint
+            results[seed] = seed_results
+            retries[seed] = {index: 0 for index in seed_results}
+            hits[seed] = len(seed_results)
+            pendings[seed] = [
+                w for w in plan.windows if w.index not in seed_results
+            ]
+            passives[seed] = PASSIVE_SHARD_INDEX not in seed_results
+
+        def on_result(
+            tag: Hashable, outcomes: list[ShardResult], attempt: int
+        ) -> None:
+            seed, _position = tag
+            for outcome in outcomes:
+                results[seed][outcome.index] = outcome
+                retries[seed][outcome.index] = attempt
+                if cache is not None:
+                    cache.store(fingerprints[seed], seed, outcome)
+
+        # -- interleave all seeds' batches through one shared executor ----
+        # Round-robin across seeds so no seed's tail straggles behind
+        # another seed's entire campaign, and early seeds produce complete
+        # datasets (hence statistics) even while later seeds still execute.
+        with tracer.span("sweep.execute") as exec_span:
+            for seed in config.seeds:
+                seed_batches[seed] = build_task_batches(
+                    engine_cfgs[seed], plans[seed], pendings[seed],
+                    passives[seed], fingerprints[seed], route,
+                    trace_parent=exec_span.span_id,
+                )
+            jobs: list[tuple[Hashable, tuple[ShardTask, ...]]] = []
+            depth = max((len(b) for b in seed_batches.values()), default=0)
+            for position in range(depth):
+                for seed in config.seeds:
+                    if position < len(seed_batches[seed]):
+                        jobs.append(((seed, position), seed_batches[seed][position]))
+            exec_span.set(jobs=len(jobs))
+
+            # One pool for the entire sweep: execute_jobs leaves a borrowed
+            # pool running, so even future multi-call drivers would reuse
+            # this handle.
+            with WorkerPool(config.workers or os.cpu_count() or 1) as pool:
+                stats = execute_jobs(
+                    jobs,
+                    on_result,
+                    executor=config.executor,
+                    workers=config.workers,
+                    max_retries=config.max_retries,
+                    pool=pool,
+                )
+
+        # -- merge, validate, and report every seed -----------------------
+        catalog = None
+        if config.store_dir is not None:
+            from repro.store.catalog import Catalog
+
+            catalog = Catalog(config.store_dir)
+        datasets: dict[int, DriveDataset] = {}
+        engine_reports: dict[int, EngineReport] = {}
+        seed_runs: list[SeedRunMetrics] = []
+        for seed in config.seeds:
+            plan = plans[seed]
+            merge_started = time.perf_counter()
+            with tracer.span("sweep.merge", seed=seed) as merge_span:
+                dataset = merge_shard_results(
+                    engine_cfgs[seed].campaign,
+                    plan,
+                    results[seed],
+                    campaign_route.total_length_km,
+                )
+                merge_s = time.perf_counter() - merge_started
+                # The trace and the per-seed report quote the same float.
+                merge_span.dur_s = merge_s
+            if config.validate:
+                outcome = validate_dataset(dataset)
+                if not outcome.ok:
+                    raise EngineError(
+                        f"seed {seed} dataset failed validation: "
+                        + "; ".join(str(issue) for issue in outcome.issues[:5])
+                    )
+            datasets[seed] = dataset
+            if catalog is not None:
+                with tracer.span("sweep.ingest", seed=seed):
+                    catalog.ingest(dataset, seed=seed)
+
+            window_span = {w.index: (w.start_m, w.end_m) for w in plan.windows}
+            window_span[PASSIVE_SHARD_INDEX] = (0.0, campaign_route.total_length_m)
+            report = EngineReport(
+                executor=stats.executor,
+                workers=stats.workers,
+                n_windows=plan.n_windows,
+                n_batches=len(seed_batches[seed]),
+                cache_hits=hits[seed],
+                cache_misses=(plan.n_windows + 1 - hits[seed]) if cache else 0,
+                validated=config.validate,
+                merge_s=merge_s,
+            )
+            report.shards = [
+                ShardMetrics(
+                    index=index,
+                    start_km=window_span[index][0] / 1000.0,
+                    end_km=window_span[index][1] / 1000.0,
+                    wall_s=result.wall_s,
+                    records=result.records,
+                    retries=retries[seed].get(index, 0),
+                    from_checkpoint=result.from_checkpoint,
+                    from_cache=result.from_cache,
+                )
+                for index, result in sorted(results[seed].items())
+            ]
+            report.total_wall_s = report.shard_wall_s
+            engine_reports[seed] = report
+
+            seed_runs.append(
+                SeedRunMetrics(
+                    seed=seed,
+                    fingerprint=fingerprints[seed],
+                    compute_wall_s=report.shard_wall_s,
+                    records=report.total_records,
+                    n_shards=plan.n_windows + 1,
+                    cache_hits=report.cache_hits,
+                    cache_misses=report.cache_misses,
+                    retries=report.total_retries,
+                )
+            )
+        if catalog is not None:
+            catalog.close()
+
+        # -- aggregate the paper statistics across seeds ------------------
+        with tracer.span("sweep.stats"):
+            names = (
+                tuple(config.statistics)
+                if config.statistics is not None
+                else registered_statistics()
+            )
+            values: dict[str, dict[int, float]] = {name: {} for name in names}
+            for seed in config.seeds:
+                per_seed = evaluate_statistics(datasets[seed], names)
+                for name, value in per_seed.items():
+                    values[name][seed] = value
+
+            summaries = []
+            skipped = []
+            for name in names:
+                summary = summarize_statistic(
+                    name, values[name], config.confidence,
+                    config.bootstrap_samples,
+                )
+                if summary is None:
+                    skipped.append(name)
+                else:
+                    summaries.append(summary)
+
+        merged_metrics = None
+        if registry is not None:
+            registry.count("sweep.seeds", len(config.seeds))
+            registry.count("sweep.pool_rebuilds", stats.pool_rebuilds)
+            registry.count(
+                "sweep.retries", sum(sum(r.values()) for r in retries.values())
+            )
+            # Fold per-worker shard snapshots in report order (seed order,
+            # then shard index) so the merged section is identical for any
+            # executor topology; replayed shards carry no fresh metrics.
+            merged_metrics = merge_snapshots(
+                [registry.snapshot()]
+                + [
+                    result.metrics
+                    for seed in config.seeds
+                    for _, result in sorted(results[seed].items())
+                    if result.metrics is not None
+                    and not (result.from_checkpoint or result.from_cache)
+                ]
+            )
+            tracer.emit_metrics(merged_metrics, scope="sweep")
+
+        # total_wall_s and the root span must quote the SAME float, so the
+        # per-phase breakdown printed by ``python -m repro.obs`` sums to
+        # the report total exactly.
+        total_wall_s = time.perf_counter() - started
+        root.dur_s = total_wall_s
+
+        sweep_report = SweepReport(
+            seeds=tuple(config.seeds),
+            scale=config.scale,
             executor=stats.executor,
             workers=stats.workers,
-            n_windows=plan.n_windows,
-            n_batches=len(seed_batches[seed]),
-            cache_hits=hits[seed],
-            cache_misses=(plan.n_windows + 1 - hits[seed]) if cache else 0,
-            validated=config.validate,
-            merge_s=merge_s,
+            n_windows=max(p.n_windows for p in plans.values()),
+            confidence=config.confidence,
+            bootstrap_samples=config.bootstrap_samples,
+            seed_runs=seed_runs,
+            statistics=summaries,
+            skipped_statistics=skipped,
+            cache=cache.stats if cache is not None else None,
+            total_wall_s=total_wall_s,
+            pool_rebuilds=stats.pool_rebuilds,
+            metrics=merged_metrics,
         )
-        report.shards = [
-            ShardMetrics(
-                index=index,
-                start_km=window_span[index][0] / 1000.0,
-                end_km=window_span[index][1] / 1000.0,
-                wall_s=result.wall_s,
-                records=result.records,
-                retries=retries[seed].get(index, 0),
-                from_checkpoint=result.from_checkpoint,
-                from_cache=result.from_cache,
-            )
-            for index, result in sorted(results[seed].items())
-        ]
-        report.total_wall_s = report.shard_wall_s
-        engine_reports[seed] = report
-
-        seed_runs.append(
-            SeedRunMetrics(
-                seed=seed,
-                fingerprint=fingerprints[seed],
-                compute_wall_s=report.shard_wall_s,
-                records=report.total_records,
-                n_shards=plan.n_windows + 1,
-                cache_hits=report.cache_hits,
-                cache_misses=report.cache_misses,
-                retries=report.total_retries,
-            )
-        )
-    if catalog is not None:
-        catalog.close()
-
-    # -- aggregate the paper statistics across seeds ----------------------
-    names = (
-        tuple(config.statistics)
-        if config.statistics is not None
-        else registered_statistics()
-    )
-    values: dict[str, dict[int, float]] = {name: {} for name in names}
-    for seed in config.seeds:
-        per_seed = evaluate_statistics(datasets[seed], names)
-        for name, value in per_seed.items():
-            values[name][seed] = value
-
-    summaries = []
-    skipped = []
-    for name in names:
-        summary = summarize_statistic(
-            name, values[name], config.confidence, config.bootstrap_samples
-        )
-        if summary is None:
-            skipped.append(name)
-        else:
-            summaries.append(summary)
-
-    sweep_report = SweepReport(
-        seeds=tuple(config.seeds),
-        scale=config.scale,
-        executor=stats.executor,
-        workers=stats.workers,
-        n_windows=max(p.n_windows for p in plans.values()),
-        confidence=config.confidence,
-        bootstrap_samples=config.bootstrap_samples,
-        seed_runs=seed_runs,
-        statistics=summaries,
-        skipped_statistics=skipped,
-        cache=cache.stats if cache is not None else None,
-        total_wall_s=time.perf_counter() - started,
-        pool_rebuilds=stats.pool_rebuilds,
-    )
     if config.report_path is not None:
         sweep_report.save(config.report_path)
 

@@ -89,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every per-seed dataset after merging",
     )
     parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append a structured JSONL trace to FILE "
+        "(summarize with python -m repro.obs FILE)",
+    )
+    parser.add_argument(
         "--list-stats", action="store_true",
         help="print the registered statistics and exit",
     )
@@ -122,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
             bootstrap_samples=args.bootstrap_samples,
             validate=args.validate,
             store_dir=args.store,
+            trace_path=args.trace,
         )
         result = run_sweep(config)
     except ReproError as exc:
@@ -154,6 +160,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\ndatasets ingested into store catalog {args.store}")
     if args.report:
         print(f"\nreport written to {args.report}")
+    if args.trace:
+        print(f"\ntrace appended to {args.trace} "
+              f"(summarize: python -m repro.obs {args.trace})")
     return 0
 
 

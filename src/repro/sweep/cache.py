@@ -47,6 +47,7 @@ from repro.campaign.persistence import load_dataset, save_dataset
 from repro.engine.checkpoint import shard_from_parts, shard_key, shard_meta
 from repro.engine.worker import ShardResult
 from repro.errors import ReproError, SweepError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "ShardCache"]
 
@@ -85,13 +86,25 @@ class ShardCache:
     """Content-addressed, LRU-bounded store of shard results on disk."""
 
     def __init__(
-        self, directory: str | os.PathLike, max_bytes: int | None = None
+        self,
+        directory: str | os.PathLike,
+        max_bytes: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise SweepError(f"max_bytes must be positive, got {max_bytes}")
         self.directory = pathlib.Path(directory)
         self.max_bytes = max_bytes
         self.stats = CacheStats()
+        #: Optional ``repro.obs`` registry mirroring :attr:`stats` under
+        #: ``cache.*`` counter names, so a traced sweep's report carries the
+        #: same counts the cache itself saw (counted at source, not
+        #: re-derived).  ``None`` keeps the untraced path allocation-free.
+        self.metrics = metrics
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name, n)
 
     # -- addressing --------------------------------------------------------
 
@@ -126,10 +139,12 @@ class ShardCache:
             result = shard_from_parts(index, meta, dataset)
         except (OSError, ValueError, KeyError, EOFError, ReproError):
             self.stats.misses += 1
+            self._count("cache.misses")
             return None
         result.from_cache = True
         self._touch(meta_path)
         self.stats.hits += 1
+        self._count("cache.hits")
         return result
 
     def load_many(
@@ -165,6 +180,7 @@ class ShardCache:
         finally:
             tmp.unlink(missing_ok=True)
         self.stats.stores += 1
+        self._count("cache.stores")
         if self.max_bytes is not None:
             self._evict(keep=entry)
 
@@ -215,6 +231,7 @@ class ShardCache:
             self._remove_entry(entry)
             total -= size
             self.stats.evictions += 1
+            self._count("cache.evictions")
 
     def _remove_entry(self, entry: pathlib.Path) -> None:
         # Remove the sidecar first: a half-removed entry is invalid (a

@@ -22,7 +22,10 @@ from repro.sweep.stats import StatisticSummary
 __all__ = ["SeedRunMetrics", "SweepReport", "SWEEP_SCHEMA_VERSION"]
 
 #: Version of the sweep report JSON format; bump on any field change.
-SWEEP_SCHEMA_VERSION = 1
+#: History: 1 = initial sweep report; 2 = timings at full precision (must
+#: reconcile exactly with trace-derived sums — see ``repro.obs``) and the
+#: optional run-level ``metrics`` snapshot.
+SWEEP_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,10 +49,13 @@ class SeedRunMetrics:
         return self.cache_hits / looked_up if looked_up else 0.0
 
     def to_obj(self) -> dict:
+        # Timings are serialised at full precision (same policy as
+        # ``ShardMetrics.to_obj``): trace-derived sums must reconcile with
+        # report fields exactly, not to within rounding error.
         return {
             "seed": self.seed,
             "fingerprint": self.fingerprint,
-            "compute_wall_s": round(self.compute_wall_s, 4),
+            "compute_wall_s": self.compute_wall_s,
             "records": self.records,
             "n_shards": self.n_shards,
             "cache_hits": self.cache_hits,
@@ -96,6 +102,9 @@ class SweepReport:
     cache: CacheStats | None = None
     total_wall_s: float = 0.0
     pool_rebuilds: int = 0
+    #: Optional merged metrics snapshot (``repro.obs.metrics`` shape);
+    #: populated only when the sweep was traced.
+    metrics: dict | None = None
 
     @property
     def n_seeds(self) -> int:
@@ -119,7 +128,7 @@ class SweepReport:
         raise KeyError(name)
 
     def to_obj(self) -> dict:
-        return {
+        obj = {
             "schema_version": SWEEP_SCHEMA_VERSION,
             "seeds": list(self.seeds),
             "n_seeds": self.n_seeds,
@@ -129,7 +138,7 @@ class SweepReport:
             "n_windows": self.n_windows,
             "confidence": self.confidence,
             "bootstrap_samples": self.bootstrap_samples,
-            "total_wall_s": round(self.total_wall_s, 4),
+            "total_wall_s": self.total_wall_s,
             "pool_rebuilds": self.pool_rebuilds,
             "total_records": self.total_records,
             "cache_hit_ratio": round(self.cache_hit_ratio(), 4),
@@ -138,6 +147,9 @@ class SweepReport:
             "statistics": [s.to_obj() for s in self.statistics],
             "skipped_statistics": list(self.skipped_statistics),
         }
+        if self.metrics is not None:
+            obj["metrics"] = self.metrics
+        return obj
 
     @classmethod
     def from_obj(cls, obj: dict) -> "SweepReport":
@@ -178,6 +190,7 @@ class SweepReport:
             cache=cache,
             total_wall_s=float(obj.get("total_wall_s", 0.0)),
             pool_rebuilds=int(obj.get("pool_rebuilds", 0)),
+            metrics=obj.get("metrics"),
         )
 
     def to_json(self) -> str:

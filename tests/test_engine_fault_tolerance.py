@@ -19,6 +19,8 @@ from repro.engine import (
 )
 from repro.engine.checkpoint import CheckpointStore
 from repro.errors import EngineError
+from repro.obs.report import load_summary, validate_trace
+from repro.obs.trace import iter_trace, reset_tracers
 
 PLANNER = PlannerParams(window_km=ENGINE_WINDOW_KM)
 
@@ -227,6 +229,90 @@ class TestCheckpointStore:
         store = CheckpointStore(tmp_path, "fp")
         assert store.load(0) is None
         assert store.load_all([0, 1, -1]) == {}
+
+
+class TestTraceIntegrity:
+    """Traces written during faulty runs must stay structurally sound.
+
+    Crash tolerance is the trace format's hardest promise: workers that
+    raise close their span with ``status="error"``, workers that die
+    mid-span contribute nothing, and either way the file parses line by
+    line with balanced durations — and its retry accounting agrees with
+    the :class:`EngineReport` of the same run.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_tracers(self):
+        yield
+        reset_tracers()
+
+    @staticmethod
+    def shard_spans(trace, status):
+        return [
+            r for r in iter_trace(trace)
+            if r["kind"] == "span"
+            and r["name"] == "engine.shard"
+            and r["status"] == status
+        ]
+
+    def test_raise_faults_leave_balanced_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _, report = run_engine(
+            engine_config(
+                executor="serial",
+                max_retries=2,
+                inject_faults={1: FaultSpec(times=2, kind="raise")},
+                trace_path=str(trace),
+            )
+        )
+        assert validate_trace(trace) == []
+        # Every failed attempt closed its span as an error; the error-span
+        # count and the report's retry counter are two views of one number.
+        assert len(self.shard_spans(trace, "error")) == report.total_retries
+        assert len(self.shard_spans(trace, "ok")) == len(report.shards)
+
+        summary = load_summary(trace)
+        (root,) = [r for r in summary.roots if r.name == "engine.run"]
+        assert root.status == "ok"
+        # The traced run duration IS the report's wall time (same float).
+        assert root.dur_s == report.total_wall_s
+
+    def test_killed_worker_leaves_parseable_trace(self, tmp_path):
+        """os._exit mid-span: the dying worker's span is simply absent."""
+        trace = tmp_path / "trace.jsonl"
+        _, report = run_engine(
+            engine_config(
+                executor="process",
+                workers=2,
+                max_retries=2,
+                inject_faults={2: FaultSpec(times=1, kind="exit")},
+                trace_path=str(trace),
+            )
+        )
+        # Parseable and balanced despite a worker dying with the trace
+        # file open — a torn line here would fail iter_trace.
+        assert validate_trace(trace) == []
+        assert len(self.shard_spans(trace, "ok")) == len(report.shards)
+        summary = load_summary(trace)
+        (root,) = [r for r in summary.roots if r.name == "engine.run"]
+        assert root.status == "ok"
+
+    def test_failed_run_closes_root_span_as_error(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with pytest.raises(EngineError):
+            run_engine(
+                engine_config(
+                    executor="serial",
+                    max_retries=0,
+                    inject_faults={2: FaultSpec(times=5, kind="raise")},
+                    trace_path=str(trace),
+                )
+            )
+        assert validate_trace(trace) == []
+        summary = load_summary(trace)
+        (root,) = [r for r in summary.roots if r.name == "engine.run"]
+        assert root.status == "error"
+        assert len(self.shard_spans(trace, "error")) == 1
 
 
 class TestPoolProbe:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
@@ -29,11 +27,7 @@ from repro.store import (
     where_speed_bin,
     write_dataset,
 )
-from repro.sweep.stats import (
-    evaluate_statistics,
-    evaluate_statistics_from_store,
-    store_supported_statistics,
-)
+from repro.sweep.stats import evaluate_statistics_from_store
 from repro.units import SPEED_BIN_LABELS, speed_bin
 
 
@@ -187,17 +181,8 @@ class TestAnalysisBridges:
                 getattr(col, attr).sorted_values,
             ), attr
 
-    def test_statistics_parity(self, dataset, reader):
-        names = store_supported_statistics()
-        assert len(names) >= 15
-        row = evaluate_statistics(dataset, names)
-        col = evaluate_statistics_from_store(reader, names)
-        for name in names:
-            a, b = row[name], col[name]
-            if math.isnan(a):
-                assert math.isnan(b), name
-            else:
-                assert b == pytest.approx(a, rel=1e-12), name
+    # Statistic-level row-vs-store parity lives in
+    # tests/test_parity_differential.py, which sweeps the whole registry.
 
     def test_unsupported_statistic_raises(self, reader):
         from repro.errors import SweepError

@@ -17,6 +17,7 @@ from repro.engine import EngineConfig, PlannerParams, run_engine
 from repro.errors import SweepError
 from repro.sweep import SweepConfig, SweepReport, run_sweep
 from repro.sweep.cache import ShardCache
+from repro.sweep.report import SWEEP_SCHEMA_VERSION
 
 SEEDS = (ENGINE_CAMPAIGN.seed, ENGINE_CAMPAIGN.seed + 1)
 PLANNER = PlannerParams(window_km=ENGINE_WINDOW_KM)
@@ -195,7 +196,7 @@ class TestSweepReport:
     def test_schema_version_and_round_trip(self, swept):
         _, result, tmp = swept
         obj = json.loads((tmp / "sweep.json").read_text())
-        assert obj["schema_version"] == 1
+        assert obj["schema_version"] == SWEEP_SCHEMA_VERSION
         rebuilt = SweepReport.from_obj(obj)
         assert rebuilt.to_obj() == obj
         assert rebuilt.cache_hit_ratio() == result.report.cache_hit_ratio()
