@@ -40,11 +40,23 @@ def _run(executor: str, workers: int, tmp_path):
     return wall, hashlib.sha256(path.read_bytes()).hexdigest(), engine_report
 
 
-def test_engine_scaling(tmp_path, report):
+def test_engine_scaling(tmp_path, report, bench):
     cores = os.cpu_count() or 1
     serial_s, serial_hash, serial_rep = _run("serial", 1, tmp_path)
     parallel_s, parallel_hash, parallel_rep = _run("process", WORKERS, tmp_path)
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+
+    bench.record(
+        "engine.scaling_serial", [serial_s],
+        counters={"engine.windows": serial_rep.n_windows},
+    )
+    bench.record(
+        "engine.scaling_parallel", [parallel_s],
+        counters={
+            "engine.workers": parallel_rep.workers,
+            "engine.windows": parallel_rep.n_windows,
+        },
+    )
 
     rows = [
         ["serial", 1, f"{serial_s:.2f}", "1.00x", serial_hash[:16]],
@@ -71,3 +83,6 @@ def test_engine_scaling(tmp_path, report):
         assert speedup >= 2.0, (
             f"expected >=2x speedup on {cores} cores, measured {speedup:.2f}x"
         )
+    # Wall times gate against the committed baseline when comparable.
+    bench.gate("engine.scaling_serial")
+    bench.gate("engine.scaling_parallel")

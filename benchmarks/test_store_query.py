@@ -102,7 +102,7 @@ def _store_speed_bin_counts(catalog) -> tuple[float, dict]:
     return time.perf_counter() - started, counts
 
 
-def test_store_query_scaling(dataset, tmp_path, report):
+def test_store_query_scaling(dataset, tmp_path, report, bench):
     row_files, catalog = _build_corpus(dataset, tmp_path)
     with catalog:
         # Row baseline first so the page cache warms the store's inputs
@@ -123,6 +123,18 @@ def test_store_query_scaling(dataset, tmp_path, report):
 
     median_speedup = row_s / store_s if store_s > 0 else float("inf")
     bins_speedup = row_bin_s / store_bin_s if store_bin_s > 0 else float("inf")
+
+    bench.record("store.row_median_dl", [row_s])
+    bench.record(
+        "store.pushdown_median_dl", [store_s],
+        counters={
+            "store.bytes_decoded": qstats.bytes_decoded,
+            "store.columns_decoded": qstats.columns_decoded,
+            "store.predicates_short_circuited": qstats.predicates_short_circuited,
+        },
+    )
+    bench.record("store.row_speed_bins", [row_bin_s])
+    bench.record("store.pushdown_speed_bins", [store_bin_s])
 
     rows = [
         [
@@ -148,7 +160,11 @@ def test_store_query_scaling(dataset, tmp_path, report):
         f"{qstats.predicates_short_circuited} predicates answered by stats",
     )
 
-    # The acceptance bar: pushdown beats row load+filter by at least 5x.
+    # The acceptance bar: pushdown beats row load+filter by at least 5x
+    # (self-relative), and neither store path regressed past the committed
+    # baseline (relative gate; record-only off the reference machine).
     assert median_speedup >= 5.0, (
         f"store path only {median_speedup:.1f}x faster than the row path"
     )
+    bench.gate("store.pushdown_median_dl")
+    bench.gate("store.pushdown_speed_bins")

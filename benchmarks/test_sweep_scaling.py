@@ -42,17 +42,30 @@ def _sweep(n_seeds: int, cache_dir, report_label: str):
         f"{wall:.2f}",
         f"{result.report.cache_hit_ratio():.2f}",
         result.report.total_records,
-    ], result
+    ], result, wall
 
 
-def test_sweep_scaling(tmp_path, report):
+def test_sweep_scaling(tmp_path, report, bench):
     cache_dir = tmp_path / "shard-cache"
     rows = []
+    cold_result = cold_wall = None
     for n_seeds in (1, 2, 4):
-        row, _ = _sweep(n_seeds, cache_dir, "cold")
+        row, cold_result, cold_wall = _sweep(n_seeds, cache_dir, "cold")
         rows.append(row)
-    warm_row, warm = _sweep(len(SEEDS), cache_dir, "warm")
+    warm_row, warm, warm_wall = _sweep(len(SEEDS), cache_dir, "warm")
     rows.append(warm_row)
+
+    bench.record(
+        "sweep.cold_4seeds", [cold_wall],
+        counters={"sweep.records": cold_result.report.total_records},
+    )
+    bench.record(
+        "sweep.warm_4seeds", [warm_wall],
+        counters={
+            "cache.hit_ratio": warm.report.cache_hit_ratio(),
+            "cache.misses": warm.cache.stats.misses,
+        },
+    )
 
     report(
         "sweep_scaling",
@@ -70,3 +83,6 @@ def test_sweep_scaling(tmp_path, report):
     assert warm.report.cache_hit_ratio() == 1.0, "warm sweep recomputed shards"
     assert warm.cache.stats.misses == 0
     assert len(warm.report.statistics) >= 5
+    # Wall times gate against the committed baseline when comparable.
+    bench.gate("sweep.cold_4seeds")
+    bench.gate("sweep.warm_4seeds")

@@ -1,0 +1,318 @@
+"""Benchmark registry, timing harness, and machine-readable reports.
+
+The ROADMAP promises a system that runs "as fast as the hardware allows" —
+which is only meaningful if performance is a *measured, replicated,
+baselined* quantity, the same way the paper treats its drive-test metrics
+(repeated nuttcp/ping rounds summarized as distributions, not one-off
+numbers).  This package is that measurement layer:
+
+* **registry** — named, fixed-seed, deterministic workloads registered by
+  :mod:`repro.bench.workloads` (or by tests);
+* **harness** — each workload sets up once in a scratch directory, then runs
+  ``warmup + repeats`` times on :func:`time.perf_counter`; the summary keeps
+  the full timing vector plus min/median/IQR.  *Min* is the headline
+  estimator: wall-clock noise is strictly additive, so the minimum of
+  repeats is the best available estimate of the true cost;
+* **reports** — a schema-versioned ``BENCH_<suite>.json`` document carrying
+  the timings, an environment fingerprint (python/platform/CPU count), and
+  each workload's explanatory counters (shard-cache hit ratio, store
+  ``bytes_decoded``) so every number ships with its *why*;
+* **gating** — :mod:`repro.bench.compare` turns two reports into deltas and
+  a pass/fail verdict against a relative regression budget, replacing
+  absolute machine-dependent thresholds.
+
+``python -m repro.bench`` exposes ``run`` / ``compare`` / ``gate``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import BenchError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchReport",
+    "BenchResult",
+    "benchmark",
+    "environment_fingerprint",
+    "get_benchmark",
+    "measure",
+    "register_benchmark",
+    "registered_benchmarks",
+    "run_benchmark",
+    "run_suite",
+    "unregister_benchmark",
+]
+
+#: Bump when the ``BENCH_*.json`` document shape changes incompatibly.
+#: Reports of a different major schema refuse to compare or gate — a stale
+#: baseline must fail loudly, not gate against reinterpreted fields.
+BENCH_SCHEMA_VERSION = 1
+
+#: Timings are rounded to nanosecond resolution on serialization: finer
+#: digits are float noise, and fixed rounding keeps documents byte-stable.
+_ROUND_DIGITS = 9
+
+
+# -- registry ----------------------------------------------------------------
+
+#: name -> (description, factory).  A factory is called once per benchmark
+#: run with a scratch directory; it performs all untimed setup and returns
+#: either ``run`` (the timed callable) or ``(run, finalize)`` where
+#: ``finalize()`` runs after the last repeat and returns the workload's
+#: explanatory counters (and may clean up global state).
+_BENCHMARKS: dict[str, tuple[str, Callable]] = {}
+
+
+def register_benchmark(name: str, description: str, factory: Callable) -> None:
+    """Register one benchmark workload under a unique dotted name."""
+    if name in _BENCHMARKS:
+        raise BenchError(f"benchmark {name!r} is already registered")
+    _BENCHMARKS[name] = (description, factory)
+
+
+def benchmark(name: str, description: str):
+    """Decorator form of :func:`register_benchmark`."""
+
+    def deco(factory: Callable) -> Callable:
+        register_benchmark(name, description, factory)
+        return factory
+
+    return deco
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove one benchmark (tests register throwaway workloads)."""
+    _BENCHMARKS.pop(name, None)
+
+
+def registered_benchmarks() -> list[str]:
+    """Sorted names of every registered benchmark."""
+    _load_builtin_workloads()
+    return sorted(_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> tuple[str, Callable]:
+    """``(description, factory)`` of one benchmark, or raise."""
+    _load_builtin_workloads()
+    try:
+        return _BENCHMARKS[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown benchmark {name!r}; registered: {sorted(_BENCHMARKS)}"
+        ) from None
+
+
+def _load_builtin_workloads() -> None:
+    # Imported lazily so importing repro.bench (e.g. from tests that only
+    # exercise report/compare logic) stays light.
+    from repro.bench import workloads  # noqa: F401
+
+
+# -- environment -------------------------------------------------------------
+
+
+def environment_fingerprint() -> dict:
+    """Where a report's numbers were measured.
+
+    Timings are only comparable between matching fingerprints; ``gate``
+    warns (but still gates) on mismatch, because a CI baseline gating a CI
+    run is the designed use and a laptop-vs-CI comparison is advisory.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+# -- results -----------------------------------------------------------------
+
+
+def _iqr(timings: Sequence[float]) -> float:
+    if len(timings) < 2:
+        return 0.0
+    q1, _, q3 = statistics.quantiles(timings, n=4, method="inclusive")
+    return q3 - q1
+
+
+@dataclass
+class BenchResult:
+    """Timings and counters of one benchmark workload."""
+
+    name: str
+    warmup: int
+    repeats: int
+    timings_s: tuple[float, ...]
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.timings_s)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.timings_s)
+
+    @property
+    def iqr_s(self) -> float:
+        """Interquartile range — the honest noise bar around the median."""
+        return _iqr(self.timings_s)
+
+    def to_obj(self) -> dict:
+        # Summary stats are derived from the *rounded* timings, so a
+        # load/save round trip reproduces the document byte for byte.
+        rounded = [round(t, _ROUND_DIGITS) for t in self.timings_s]
+        return {
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "timings_s": rounded,
+            "min_s": round(min(rounded), _ROUND_DIGITS),
+            "median_s": round(statistics.median(rounded), _ROUND_DIGITS),
+            "iqr_s": round(_iqr(rounded), _ROUND_DIGITS),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    @classmethod
+    def from_obj(cls, name: str, obj: Mapping) -> "BenchResult":
+        try:
+            return cls(
+                name=name,
+                warmup=int(obj["warmup"]),
+                repeats=int(obj["repeats"]),
+                timings_s=tuple(float(t) for t in obj["timings_s"]),
+                counters=dict(obj.get("counters", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(f"malformed benchmark entry {name!r}: {exc}") from exc
+
+
+@dataclass
+class BenchReport:
+    """One suite run: schema, environment, and per-benchmark results."""
+
+    suite: str
+    environment: dict
+    results: dict[str, BenchResult]
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def to_obj(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "environment": dict(sorted(self.environment.items())),
+            "benchmarks": {
+                name: self.results[name].to_obj() for name in sorted(self.results)
+            },
+        }
+
+    def save(self, path: str | os.PathLike) -> None:
+        text = json.dumps(self.to_obj(), sort_keys=True, indent=2, allow_nan=False)
+        pathlib.Path(path).write_text(text + "\n")
+
+    @classmethod
+    def from_obj(cls, obj: Mapping) -> "BenchReport":
+        version = obj.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise BenchError(
+                f"bench schema {version!r} is not the supported "
+                f"{BENCH_SCHEMA_VERSION}; regenerate the report"
+            )
+        benchmarks = obj.get("benchmarks")
+        if not isinstance(benchmarks, Mapping):
+            raise BenchError("bench report has no 'benchmarks' mapping")
+        return cls(
+            suite=str(obj.get("suite", "")),
+            environment=dict(obj.get("environment", {})),
+            results={
+                name: BenchResult.from_obj(name, entry)
+                for name, entry in benchmarks.items()
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "BenchReport":
+        try:
+            obj = json.loads(pathlib.Path(path).read_text())
+        except OSError as exc:
+            raise BenchError(f"cannot read bench report {path}: {exc}") from exc
+        except ValueError as exc:
+            raise BenchError(f"bench report {path} is not JSON: {exc}") from exc
+        return cls.from_obj(obj)
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def measure(
+    run: Callable[[], object], warmup: int = 1, repeats: int = 5
+) -> tuple[float, ...]:
+    """Time one callable: ``warmup`` throwaway calls, then ``repeats``
+    timed ones on the monotonic high-resolution clock."""
+    if warmup < 0 or repeats < 1:
+        raise BenchError(
+            f"need warmup >= 0 and repeats >= 1, got {warmup}/{repeats}"
+        )
+    for _ in range(warmup):
+        run()
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - started)
+    return tuple(timings)
+
+
+def run_benchmark(name: str, warmup: int = 1, repeats: int = 5) -> BenchResult:
+    """Set up one workload in a scratch directory and time it.
+
+    Setup happens exactly once (untimed); ``run`` executes under
+    :func:`measure`.  The workload's ``finalize`` (when provided) runs
+    after the last repeat and supplies the counters.
+    """
+    _, factory = get_benchmark(name)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
+        made = factory(pathlib.Path(workdir))
+        run, finalize = made if isinstance(made, tuple) else (made, None)
+        timings = measure(run, warmup=warmup, repeats=repeats)
+        counters = dict(finalize()) if finalize is not None else {}
+    return BenchResult(
+        name=name,
+        warmup=warmup,
+        repeats=repeats,
+        timings_s=tuple(timings),
+        counters=counters,
+    )
+
+
+def run_suite(
+    names: Sequence[str] | None = None,
+    suite: str = "core",
+    warmup: int = 1,
+    repeats: int = 5,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Run a set of benchmarks (default: all registered) into one report."""
+    selected = list(names) if names is not None else registered_benchmarks()
+    if not selected:
+        raise BenchError("no benchmarks selected")
+    results = {}
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        results[name] = run_benchmark(name, warmup=warmup, repeats=repeats)
+    return BenchReport(
+        suite=suite, environment=environment_fingerprint(), results=results
+    )

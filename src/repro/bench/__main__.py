@@ -1,0 +1,178 @@
+"""``python -m repro.bench`` — run, compare, and gate benchmark suites.
+
+Subcommands::
+
+    run      measure registered workloads into a BENCH_<suite>.json
+    compare  print current-vs-baseline deltas for two reports
+    gate     exit nonzero if any benchmark regressed past the budget
+
+``gate`` gates a freshly measured suite by default; pass ``--current`` to
+gate an existing report instead (CI measures once, then gates the file it
+just uploaded).  Exit codes: 0 pass, 1 measured regression, 2 invalid
+input (unreadable report, schema mismatch, bad budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import BenchReport, registered_benchmarks, run_suite
+from repro.bench.compare import compare_reports, gate_reports, parse_budget
+from repro.errors import BenchError
+from repro.reporting.tables import render_table
+
+
+def _delta_rows(deltas) -> list[list[str]]:
+    return [
+        [
+            d.name,
+            f"{d.base_min_s * 1e3:.2f}",
+            f"{d.cur_min_s * 1e3:.2f}",
+            f"{d.cur_iqr_s * 1e3:.2f}",
+            f"{d.ratio:.3f}x",
+        ]
+        for d in deltas
+    ]
+
+
+_DELTA_HEADER = [
+    "benchmark", "base min (ms)", "cur min (ms)", "cur IQR (ms)", "ratio"
+]
+
+
+def _select_names(filters: list[str] | None) -> list[str] | None:
+    if not filters:
+        return None
+    # Union across repeated --filter flags; every flag must match something,
+    # so a typo fails loudly instead of silently shrinking the suite.
+    selected = []
+    for text in filters:
+        names = [n for n in registered_benchmarks() if text in n]
+        if not names:
+            raise BenchError(
+                f"--filter {text!r} matches no benchmark; "
+                f"registered: {registered_benchmarks()}"
+            )
+        selected.extend(n for n in names if n not in selected)
+    return selected
+
+
+def cmd_run(args) -> int:
+    report = run_suite(
+        names=_select_names(args.filter),
+        suite=args.suite,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        progress=lambda name: print(f"bench: {name} ...", flush=True),
+    )
+    report.save(args.out)
+    rows = [
+        [name, f"{r.min_s * 1e3:.2f}", f"{r.median_s * 1e3:.2f}",
+         f"{r.iqr_s * 1e3:.2f}"]
+        for name, r in sorted(report.results.items())
+    ]
+    print(render_table(
+        ["benchmark", "min (ms)", "median (ms)", "IQR (ms)"], rows,
+        title=f"suite {report.suite!r} -> {args.out}",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    current = BenchReport.load(args.current)
+    baseline = BenchReport.load(args.baseline)
+    comparison = compare_reports(current, baseline)
+    print(render_table(_DELTA_HEADER, _delta_rows(comparison.deltas)))
+    for name in comparison.only_current:
+        print(f"only in current: {name}")
+    for name in comparison.only_baseline:
+        print(f"only in baseline: {name}")
+    for mismatch in comparison.env_mismatches:
+        print(f"environment mismatch: {mismatch}")
+    return 0
+
+
+def cmd_gate(args) -> int:
+    budget = parse_budget(args.max_regression)
+    baseline = BenchReport.load(args.against)
+    if args.current is not None:
+        current = BenchReport.load(args.current)
+    else:
+        current = run_suite(
+            names=_select_names(args.filter),
+            suite=args.suite,
+            warmup=args.warmup,
+            repeats=args.repeats,
+            progress=lambda name: print(f"bench: {name} ...", flush=True),
+        )
+        if args.out:
+            current.save(args.out)
+    result = gate_reports(current, baseline, budget)
+    print(render_table(
+        _DELTA_HEADER, _delta_rows(result.deltas),
+        title=f"gate budget {budget:.0%}",
+    ))
+    for warning in result.warnings:
+        print(f"warning: {warning}")
+    if result.passed:
+        print(f"gate: PASS ({len(result.deltas)} benchmarks within budget)")
+        return 0
+    for d in result.failures:
+        print(
+            f"gate: FAIL {d.name}: {d.cur_min_s * 1e3:.2f} ms vs baseline "
+            f"{d.base_min_s * 1e3:.2f} ms ({d.ratio:.3f}x > {1 + budget:.3f}x)"
+        )
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="run, compare, and gate repro benchmark suites",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_args(p):
+        p.add_argument("--suite", default="core", help="suite label")
+        p.add_argument("--filter", action="append", default=None,
+                       help="only benchmarks whose name contains this "
+                            "(repeatable; matches are unioned)")
+        p.add_argument("--warmup", type=int, default=1)
+        p.add_argument("--repeats", type=int, default=5)
+
+    p_run = sub.add_parser("run", help="measure and write a BENCH report")
+    add_run_args(p_run)
+    p_run.add_argument("--out", default="BENCH_core.json")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="diff two BENCH reports")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("baseline")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_gate = sub.add_parser("gate", help="fail on regressions vs a baseline")
+    p_gate.add_argument("--against", required=True,
+                        help="baseline BENCH_*.json to gate against")
+    p_gate.add_argument("--max-regression", default="25%",
+                        help="relative budget, e.g. 25%% or 0.25")
+    p_gate.add_argument("--current", default=None,
+                        help="gate this report instead of measuring now")
+    p_gate.add_argument("--out", default=None,
+                        help="also save the freshly measured report here")
+    add_run_args(p_gate)
+    p_gate.set_defaults(fn=cmd_gate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

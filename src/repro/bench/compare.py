@@ -1,0 +1,132 @@
+"""Baseline comparison and regression gating for bench reports.
+
+Both operations consume two :class:`~repro.bench.BenchReport` documents and
+interpret noise the same way the harness does: each benchmark is compared
+on its **min** timing (wall-clock noise is additive, so min-of-repeats is
+the least contaminated estimate either report has), and the current
+report's IQR is carried alongside so a human can see whether a delta
+clears the measurement's own noise bar.
+
+``gate`` turns the comparison into a verdict against a *relative* budget
+(``--max-regression 25%``): a benchmark fails when its min timing exceeds
+``baseline * (1 + budget)``.  Everything that is not a measured regression
+— a benchmark present on only one side, an environment-fingerprint
+mismatch — is a warning, not a failure: the gate's job is to catch code
+making the same machine slower, and it must not rot into something people
+bypass because it cries wolf on unrelated drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench import BenchReport
+from repro.errors import BenchError
+
+__all__ = ["Delta", "GateResult", "compare_reports", "gate_reports", "parse_budget"]
+
+
+def parse_budget(text: str) -> float:
+    """A regression budget: ``"25%"`` or ``"0.25"`` -> ``0.25``."""
+    raw = text.strip()
+    try:
+        value = float(raw[:-1]) / 100.0 if raw.endswith("%") else float(raw)
+    except ValueError:
+        raise BenchError(f"invalid regression budget {text!r}") from None
+    if value < 0:
+        raise BenchError(f"regression budget must be >= 0, got {text!r}")
+    return value
+
+
+@dataclass
+class Delta:
+    """One benchmark's current-vs-baseline movement."""
+
+    name: str
+    base_min_s: float
+    cur_min_s: float
+    cur_iqr_s: float
+
+    @property
+    def ratio(self) -> float:
+        """Current over baseline: > 1 is slower, < 1 is faster."""
+        return self.cur_min_s / self.base_min_s if self.base_min_s > 0 else 1.0
+
+    def exceeds(self, budget: float) -> bool:
+        return self.ratio > 1.0 + budget
+
+
+@dataclass
+class Comparison:
+    """Everything two reports say about each other."""
+
+    deltas: list[Delta]
+    only_current: list[str]
+    only_baseline: list[str]
+    env_mismatches: list[str]
+
+
+def compare_reports(current: BenchReport, baseline: BenchReport) -> Comparison:
+    """Pair up benchmarks by name and fingerprint the environments."""
+    deltas = [
+        Delta(
+            name=name,
+            base_min_s=baseline.results[name].min_s,
+            cur_min_s=current.results[name].min_s,
+            cur_iqr_s=current.results[name].iqr_s,
+        )
+        for name in sorted(set(current.results) & set(baseline.results))
+    ]
+    mismatches = [
+        f"{key}: current={current.environment.get(key)!r} "
+        f"baseline={baseline.environment.get(key)!r}"
+        for key in sorted(set(current.environment) | set(baseline.environment))
+        if current.environment.get(key) != baseline.environment.get(key)
+    ]
+    return Comparison(
+        deltas=deltas,
+        only_current=sorted(set(current.results) - set(baseline.results)),
+        only_baseline=sorted(set(baseline.results) - set(current.results)),
+        env_mismatches=mismatches,
+    )
+
+
+@dataclass
+class GateResult:
+    """Verdict of gating a current report against a baseline."""
+
+    budget: float
+    deltas: list[Delta]
+    failures: list[Delta]
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def gate_reports(
+    current: BenchReport, baseline: BenchReport, max_regression: float
+) -> GateResult:
+    """Fail every benchmark whose min timing regressed past the budget."""
+    if max_regression < 0:
+        raise BenchError(f"max_regression must be >= 0, got {max_regression}")
+    comparison = compare_reports(current, baseline)
+    warnings = [
+        f"environment mismatch ({m}); timings may not be comparable"
+        for m in comparison.env_mismatches
+    ]
+    warnings += [
+        f"benchmark {name!r} has no baseline entry; not gated"
+        for name in comparison.only_current
+    ]
+    warnings += [
+        f"baseline benchmark {name!r} missing from the current report"
+        for name in comparison.only_baseline
+    ]
+    return GateResult(
+        budget=max_regression,
+        deltas=comparison.deltas,
+        failures=[d for d in comparison.deltas if d.exceeds(max_regression)],
+        warnings=warnings,
+    )

@@ -1,0 +1,156 @@
+"""The core benchmark suite: one workload per hot path grown so far.
+
+Every workload is **fixed-seed and deterministic in what it computes** —
+only the wall time varies between machines — and small enough that the
+whole suite finishes in a couple of minutes on a CI container.  Each one
+returns explanatory counters next to its timings, so a regression report
+can say *what changed* (cache stopped hitting, query decoded more bytes)
+rather than just *how much slower*.
+
+Registered on import by :func:`repro.bench.registered_benchmarks`.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.bench import benchmark
+
+#: One knob for the whole suite: the engine/sweep workloads run the same
+#: tiny campaign the CI smoke jobs use, the store workload a slightly
+#: larger one so pushdown has bytes to skip.
+_SEED = 42
+_SCALE = 0.004
+_WINDOW_KM = 600.0
+
+
+@benchmark("obs.null_span", "cost of 50k disabled tracer spans")
+def _obs_null_span(workdir):
+    from repro.obs.trace import NULL_TRACER
+
+    n_spans = 50_000
+    span = NULL_TRACER.span  # bind once, as instrumented call sites do
+
+    def run():
+        for _ in range(n_spans):
+            with span("bench.noop", index=0):
+                pass
+
+    return run, lambda: {"obs.spans": n_spans}
+
+
+@benchmark("stats.bootstrap_ci", "2000-resample bootstrap CI over 64 values")
+def _stats_bootstrap(workdir):
+    from repro.sweep.stats import bootstrap_ci
+
+    values = np.random.default_rng(_SEED).normal(50.0, 10.0, size=64)
+    n_boot = 2000
+
+    def run():
+        # Fresh RNG per call: every repeat resamples identically.
+        bootstrap_ci(values, n_boot=n_boot, rng=np.random.default_rng(7))
+
+    return run, lambda: {"stats.n_values": len(values), "stats.n_boot": n_boot}
+
+
+@benchmark("engine.serial", "serial engine run of the smoke-scale campaign")
+def _engine_serial(workdir):
+    from repro.campaign.runner import CampaignConfig
+    from repro.engine import EngineConfig, PlannerParams, run_engine
+
+    config = EngineConfig(
+        campaign=CampaignConfig(
+            seed=_SEED, scale=_SCALE, include_apps=False, include_static=False
+        ),
+        executor="serial",
+        planner=PlannerParams(window_km=_WINDOW_KM),
+    )
+    last = {}
+
+    def run():
+        _, report = run_engine(config)
+        last["report"] = report
+
+    def finalize():
+        report = last["report"]
+        return {
+            "engine.shards": len(report.shards),
+            "engine.records": report.total_records,
+        }
+
+    return run, finalize
+
+
+@benchmark("sweep.warm_cache", "2-seed sweep replayed from a warm shard cache")
+def _sweep_warm_cache(workdir):
+    from repro.engine import PlannerParams
+    from repro.sweep import SweepConfig, run_sweep
+
+    config = SweepConfig(
+        seeds=(_SEED, _SEED + 1),
+        scale=_SCALE,
+        include_apps=False,
+        include_static=False,
+        executor="serial",
+        planner=PlannerParams(window_km=_WINDOW_KM),
+        cache_dir=str(workdir / "shard-cache"),
+        bootstrap_samples=200,
+    )
+    run_sweep(config)  # cold run populates the cache, untimed
+    last = {}
+
+    def run():
+        last["result"] = run_sweep(config)
+
+    def finalize():
+        stats = last["result"].cache.stats
+        return {
+            "cache.hits": stats.hits,
+            "cache.misses": stats.misses,
+            "cache.hit_ratio": stats.hit_ratio(),
+        }
+
+    return run, finalize
+
+
+@benchmark("store.query", "pushdown median + count over a 4-seed catalog")
+def _store_query(workdir):
+    import repro
+    from repro.radio.operators import Operator
+    from repro.store import Catalog, Eq, QueryStats, query
+
+    dataset = repro.generate_dataset(
+        seed=_SEED, scale=0.01, include_apps=False, include_static=False
+    )
+    catalog = Catalog(workdir / "store")
+    for seed in (42, 43, 44, 45):
+        ds = copy.deepcopy(dataset)
+        ds.seed = seed
+        catalog.ingest(ds)
+    last = {}
+
+    def run():
+        qstats = QueryStats()
+        query.percentile(
+            catalog, "tput", "tput_mbps", 0.5,
+            where=(Eq("operator", Operator.VERIZON), Eq("static", False)),
+            qstats=qstats,
+        )
+        query.count(
+            catalog, "tput", (Eq("operator", Operator.TMOBILE),), qstats=qstats
+        )
+        last["qstats"] = qstats
+
+    def finalize():
+        qstats = last["qstats"]
+        catalog.close()
+        return {
+            "store.bytes_decoded": qstats.bytes_decoded,
+            "store.columns_decoded": qstats.columns_decoded,
+            "store.partitions_scanned": qstats.partitions_scanned,
+            "store.predicates_short_circuited": qstats.predicates_short_circuited,
+        }
+
+    return run, finalize

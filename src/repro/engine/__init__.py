@@ -562,16 +562,17 @@ def run_engine(
             driver.count("engine.pool_rebuilds", stats.pool_rebuilds)
             driver.count("engine.retries", sum(retries.values()))
             # Fold worker snapshots in sorted shard order so the merged
-            # section is identical for every executor topology; replayed
-            # shards (checkpoint/cache) are skipped — their snapshots
-            # describe the run that computed them, not this one.
+            # section is identical for every executor topology.  Replayed
+            # shards (checkpoint/cache) fold too: their sidecars carry the
+            # snapshot recorded when the shard was computed, and the results
+            # dict holds each shard exactly once, so a resumed run reports
+            # the same shard-level totals as an uninterrupted one.
             report.metrics = merge_snapshots(
                 [driver.snapshot()]
                 + [
                     result.metrics
                     for _, result in sorted(results.items())
                     if result.metrics is not None
-                    and not (result.from_checkpoint or result.from_cache)
                 ]
             )
             tracer.emit_metrics(report.metrics, scope="engine")

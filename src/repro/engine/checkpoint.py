@@ -89,8 +89,14 @@ def shard_key(fingerprint: str, index: int, seed: int) -> str:
 
 
 def shard_meta(result: ShardResult, fingerprint: str) -> dict:
-    """JSON-able sidecar describing one shard result (sans dataset)."""
-    return {
+    """JSON-able sidecar describing one shard result (sans dataset).
+
+    The metrics snapshot a traced worker recorded rides along, so a shard
+    replayed from a checkpoint or cache re-enters the run report with the
+    counters of the computation that produced it — a resumed run's merged
+    metrics match an uninterrupted run's (resume parity).
+    """
+    meta = {
         "fingerprint": fingerprint,
         "index": result.index,
         "wall_s": result.wall_s,
@@ -98,10 +104,14 @@ def shard_meta(result: ShardResult, fingerprint: str) -> dict:
         "active_cells": {op.name: n for op, n in result.active_cells.items()},
         "macro_cells": {op.name: n for op, n in result.macro_cells.items()},
     }
+    if result.metrics is not None:
+        meta["metrics"] = result.metrics
+    return meta
 
 
 def shard_from_parts(index: int, meta: dict, dataset) -> ShardResult:
     """Rebuild a :class:`ShardResult` from its sidecar and dataset."""
+    metrics = meta.get("metrics")
     return ShardResult(
         index=index,
         dataset=dataset,
@@ -112,6 +122,7 @@ def shard_from_parts(index: int, meta: dict, dataset) -> ShardResult:
             _OP[name]: n for name, n in meta.get("macro_cells", {}).items()
         },
         wall_s=float(meta.get("wall_s", 0.0)),
+        metrics=metrics if isinstance(metrics, dict) else None,
     )
 
 

@@ -59,6 +59,15 @@ class StoreError(ReproError):
     """
 
 
+class BenchError(ReproError):
+    """A benchmark run, report, or baseline comparison is invalid.
+
+    Raised for unknown benchmark names, malformed or schema-incompatible
+    ``BENCH_*.json`` documents, and invalid regression budgets.  A *measured
+    regression* is not an error — it is a gate failure, reported as data.
+    """
+
+
 class EngineError(ReproError):
     """The sharded execution engine failed to plan, run, or merge a campaign.
 

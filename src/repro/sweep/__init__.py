@@ -388,7 +388,10 @@ def run_sweep(config: SweepConfig, route: Route | None = None) -> SweepResult:
             )
             # Fold per-worker shard snapshots in report order (seed order,
             # then shard index) so the merged section is identical for any
-            # executor topology; replayed shards carry no fresh metrics.
+            # executor topology.  Replayed shards fold too — cache/checkpoint
+            # sidecars persist the snapshot of the computation that produced
+            # them, and each (seed, index) appears exactly once — so a warm
+            # sweep reports the same shard-level totals as a cold one.
             merged_metrics = merge_snapshots(
                 [registry.snapshot()]
                 + [
@@ -396,7 +399,6 @@ def run_sweep(config: SweepConfig, route: Route | None = None) -> SweepResult:
                     for seed in config.seeds
                     for _, result in sorted(results[seed].items())
                     if result.metrics is not None
-                    and not (result.from_checkpoint or result.from_cache)
                 ]
             )
             tracer.emit_metrics(merged_metrics, scope="sweep")

@@ -26,6 +26,11 @@ Guarantees:
   run faster, never wrong.
 * **LRU size bounding** — with ``max_bytes`` set, the store evicts
   least-recently-used entries (hits refresh recency) until the cache fits.
+  Recency is stamped from a **logical clock** — strictly increasing, seeded
+  at or above every existing entry's timestamp — so access order survives
+  coarse-mtime filesystems (batch hits would otherwise tie and fall back to
+  size order) and clock skew (an entry stamped in the future would otherwise
+  outrank the shard that was *just* used).
 * **Counters** — hits/misses/stores/evictions accumulate in
   :class:`CacheStats` for the sweep report.
 
@@ -40,6 +45,7 @@ import json
 import os
 import pathlib
 import shutil
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -96,6 +102,10 @@ class ShardCache:
         self.directory = pathlib.Path(directory)
         self.max_bytes = max_bytes
         self.stats = CacheStats()
+        #: Logical recency clock (ns).  ``None`` until first use, then
+        #: lazily seeded to the newest existing entry's mtime so every
+        #: stamp this instance hands out outranks what is already on disk.
+        self._recency_ns: int | None = None
         #: Optional ``repro.obs`` registry mirroring :attr:`stats` under
         #: ``cache.*`` counter names, so a traced sweep's report carries the
         #: same counts the cache itself saw (counted at source, not
@@ -150,7 +160,13 @@ class ShardCache:
     def load_many(
         self, fingerprint: str, seed: int, indices: Sequence[int]
     ) -> dict[int, ShardResult]:
-        """Replay every shard among ``indices`` the cache can serve."""
+        """Replay every shard among ``indices`` the cache can serve.
+
+        One :meth:`load` per index — the *same* path single lookups take —
+        so every batch hit counts toward the stats/metrics and refreshes
+        LRU recency, with strictly increasing stamps in ``indices`` order:
+        eviction never punishes an entry for arriving via a batch.
+        """
         found: dict[int, ShardResult] = {}
         for index in indices:
             result = self.load(fingerprint, seed, index)
@@ -179,6 +195,9 @@ class ShardCache:
             os.replace(tmp, meta_path)
         finally:
             tmp.unlink(missing_ok=True)
+        # Stamp the fresh entry through the same logical clock hits use,
+        # so stores and hits share one total recency order.
+        self._touch(meta_path)
         self.stats.stores += 1
         self._count("cache.stores")
         if self.max_bytes is not None:
@@ -186,25 +205,41 @@ class ShardCache:
 
     # -- bookkeeping -------------------------------------------------------
 
-    @staticmethod
-    def _touch(path: pathlib.Path) -> None:
+    def _next_recency_ns(self) -> int:
+        """Next stamp of the logical recency clock, strictly increasing.
+
+        Tracks ``max(wall clock, previous stamp + 1)``, seeded from the
+        newest entry already on disk.  Two properties the raw wall clock
+        lacks: consecutive accesses (e.g. the hits of one ``load_many``
+        batch) never tie even on coarse-mtime filesystems, and an entry
+        whose stored mtime lies in the future (clock skew, another host's
+        writes) can never outrank a shard that was just used.
+        """
+        if self._recency_ns is None:
+            existing = [ns for ns, _, _ in self._entries()]
+            self._recency_ns = max(existing) if existing else 0
+        self._recency_ns = max(time.time_ns(), self._recency_ns + 1)
+        return self._recency_ns
+
+    def _touch(self, path: pathlib.Path) -> None:
         try:
-            os.utime(path)
+            stamp = self._next_recency_ns()
+            os.utime(path, ns=(stamp, stamp))
         except OSError:
             pass  # recency refresh is best-effort
 
-    def _entries(self) -> list[tuple[float, int, pathlib.Path]]:
-        """All valid-looking entries as ``(last_use, bytes, entry_dir)``."""
+    def _entries(self) -> list[tuple[int, int, pathlib.Path]]:
+        """All valid-looking entries as ``(last_use_ns, bytes, entry_dir)``."""
         objects = self.directory / "objects"
         entries = []
         for meta_path in objects.glob(f"*/*/{_META_NAME}"):
             entry = meta_path.parent
             try:
-                mtime = meta_path.stat().st_mtime
+                mtime_ns = meta_path.stat().st_mtime_ns
                 size = sum(p.stat().st_size for p in entry.iterdir())
             except OSError:
                 continue  # concurrently evicted
-            entries.append((mtime, size, entry))
+            entries.append((mtime_ns, size, entry))
         return entries
 
     def total_bytes(self) -> int:

@@ -135,8 +135,10 @@ def bootstrap_ci(
     """Percentile-bootstrap CI on the mean of ``values``.
 
     Resamples the values with replacement ``n_boot`` times and returns the
-    ``(1±confidence)/2`` percentiles of the resampled means.  With a single
-    value the interval degenerates to that value.
+    ``(1±confidence)/2`` percentiles of the resampled means.  A single
+    value carries no replication information, so the interval is
+    ``(NaN, NaN)`` — a zero-width interval at the value would claim perfect
+    certainty the data cannot support.
     """
     if not 0.0 < confidence < 1.0:
         raise SweepError(f"confidence must be in (0, 1), got {confidence}")
@@ -146,7 +148,7 @@ def bootstrap_ci(
     if arr.size == 0 or not np.all(np.isfinite(arr)):
         raise SweepError("bootstrap requires a non-empty finite sample")
     if arr.size == 1:
-        return float(arr[0]), float(arr[0])
+        return math.nan, math.nan
     rng = rng or np.random.default_rng(0)
     idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
     means = arr[idx].mean(axis=1)
@@ -155,9 +157,29 @@ def bootstrap_ci(
     return float(lo), float(hi)
 
 
+def _round6(value: float) -> float | None:
+    """JSON form of one summary float: ``None`` stands in for non-finite.
+
+    ``json.dumps`` would otherwise emit bare ``NaN`` — a token strict JSON
+    parsers reject — so single-seed summaries (``std``/CI are ``NaN`` by
+    construction) would serialise to documents other tools cannot read.
+    """
+    return round(value, 6) if math.isfinite(value) else None
+
+
+def _from_nullable(value) -> float:
+    """Inverse of :func:`_round6`: ``None`` parses back to ``NaN``."""
+    return math.nan if value is None else float(value)
+
+
 @dataclass(frozen=True)
 class StatisticSummary:
-    """Cross-seed summary of one statistic, CI included."""
+    """Cross-seed summary of one statistic, CI included.
+
+    With a single contributing seed, ``std``/``ci_low``/``ci_high`` are
+    ``NaN``: one replication cannot bound its own dispersion, and a
+    zero-width interval would read as false certainty downstream.
+    """
 
     name: str
     description: str
@@ -188,9 +210,9 @@ class StatisticSummary:
             "values": [round(v, 6) for v in self.values],
             "mean": round(self.mean, 6),
             "median": round(self.median, 6),
-            "std": round(self.std, 6),
-            "ci_low": round(self.ci_low, 6),
-            "ci_high": round(self.ci_high, 6),
+            "std": _round6(self.std),
+            "ci_low": _round6(self.ci_low),
+            "ci_high": _round6(self.ci_high),
         }
 
     @classmethod
@@ -211,9 +233,9 @@ class StatisticSummary:
             values=tuple(float(v) for v in obj["values"]),
             mean=float(obj["mean"]),
             median=float(obj.get("median", obj["mean"])),
-            std=float(obj.get("std", 0.0)),
-            ci_low=float(obj["ci_low"]),
-            ci_high=float(obj["ci_high"]),
+            std=_from_nullable(obj.get("std", 0.0)),
+            ci_low=_from_nullable(obj["ci_low"]),
+            ci_high=_from_nullable(obj["ci_high"]),
         )
 
 
@@ -245,7 +267,7 @@ def summarize_statistic(
         values=tuple(float(v) for v in arr),
         mean=float(arr.mean()),
         median=float(np.median(arr)),
-        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        std=float(arr.std(ddof=1)) if arr.size > 1 else math.nan,
         ci_low=lo,
         ci_high=hi,
     )

@@ -1,0 +1,332 @@
+"""The benchmark harness: registry, reports, baselines, and the gate.
+
+The gate is correctness tooling for every later perf PR, so its own
+behavior is pinned hard: exact pass/fail boundaries, loud schema
+mismatches, warnings (never silent passes, never spurious failures) for
+missing baselines and foreign environments, and byte-stable JSON so two
+saves of the same measurements diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    BenchResult,
+    environment_fingerprint,
+    measure,
+    register_benchmark,
+    registered_benchmarks,
+    run_benchmark,
+    run_suite,
+    unregister_benchmark,
+)
+from repro.bench.compare import compare_reports, gate_reports, parse_budget
+from repro.bench.__main__ import main
+from repro.errors import BenchError
+
+
+def make_report(timings: dict[str, tuple[float, ...]], **env_overrides):
+    """A report with one result per name, on this machine's environment."""
+    environment = environment_fingerprint()
+    environment.update(env_overrides)
+    return BenchReport(
+        suite="test",
+        environment=environment,
+        results={
+            name: BenchResult(
+                name=name, warmup=0, repeats=len(ts), timings_s=tuple(ts)
+            )
+            for name, ts in timings.items()
+        },
+    )
+
+
+@pytest.fixture()
+def fast_benchmark():
+    """A registered no-op benchmark with deterministic counters."""
+    calls = {"setup": 0, "run": 0}
+
+    def factory(workdir):
+        calls["setup"] += 1
+        assert workdir.is_dir()
+
+        def run():
+            calls["run"] += 1
+
+        return run, lambda: {"bench.calls": calls["run"]}
+
+    register_benchmark("tmp.fast", "no-op", factory)
+    try:
+        yield calls
+    finally:
+        unregister_benchmark("tmp.fast")
+
+
+class TestHarness:
+    def test_measure_counts_calls(self):
+        calls = []
+        timings = measure(lambda: calls.append(1), warmup=2, repeats=3)
+        assert len(calls) == 5  # warmup + repeats
+        assert len(timings) == 3
+        assert all(t >= 0 for t in timings)
+
+    def test_measure_rejects_invalid(self):
+        with pytest.raises(BenchError):
+            measure(lambda: None, warmup=-1)
+        with pytest.raises(BenchError):
+            measure(lambda: None, repeats=0)
+
+    def test_run_benchmark_sets_up_once(self, fast_benchmark):
+        result = run_benchmark("tmp.fast", warmup=2, repeats=4)
+        assert fast_benchmark["setup"] == 1
+        assert fast_benchmark["run"] == 6
+        assert result.repeats == 4
+        assert len(result.timings_s) == 4
+        assert result.counters == {"bench.calls": 6}
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(BenchError):
+            run_benchmark("no.such.benchmark")
+
+    def test_duplicate_registration_rejected(self, fast_benchmark):
+        with pytest.raises(BenchError):
+            register_benchmark("tmp.fast", "again", lambda w: lambda: None)
+
+    def test_builtin_suite_registered(self):
+        names = registered_benchmarks()
+        assert {
+            "obs.null_span",
+            "stats.bootstrap_ci",
+            "engine.serial",
+            "sweep.warm_cache",
+            "store.query",
+        } <= set(names)
+
+    def test_summary_statistics(self):
+        result = BenchResult(
+            name="x", warmup=0, repeats=5,
+            timings_s=(5.0, 1.0, 3.0, 2.0, 4.0),
+        )
+        assert result.min_s == 1.0
+        assert result.median_s == 3.0
+        assert result.iqr_s == pytest.approx(2.0)  # inclusive quartiles 2 and 4
+        single = BenchResult(name="y", warmup=0, repeats=1, timings_s=(2.0,))
+        assert single.iqr_s == 0.0
+
+
+class TestReportDocument:
+    def test_run_suite_writes_schema_versioned_json(
+        self, fast_benchmark, tmp_path
+    ):
+        report = run_suite(names=["tmp.fast"], warmup=0, repeats=2)
+        path = tmp_path / "BENCH_test.json"
+        report.save(path)
+        obj = json.loads(path.read_text())
+        assert obj["schema_version"] == BENCH_SCHEMA_VERSION
+        assert obj["environment"] == environment_fingerprint()
+        assert "tmp.fast" in obj["benchmarks"]
+        entry = obj["benchmarks"]["tmp.fast"]
+        assert entry["min_s"] == min(entry["timings_s"])
+        assert entry["counters"]["bench.calls"] == 2
+
+    def test_save_is_byte_stable(self, tmp_path):
+        """Same measurements -> identical bytes, and a load/save round
+        trip changes nothing: reports diff clean under version control."""
+        report = make_report({"a.x": (0.123456789123, 0.2), "a.y": (1.5,)})
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        report.save(a)
+        report.save(b)
+        assert a.read_bytes() == b.read_bytes()
+        BenchReport.load(a).save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_schema_mismatch_refuses_to_load(self, tmp_path):
+        report = make_report({"a.x": (1.0,)})
+        path = tmp_path / "BENCH_old.json"
+        report.save(path)
+        obj = json.loads(path.read_text())
+        obj["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(obj))
+        with pytest.raises(BenchError, match="schema"):
+            BenchReport.load(path)
+
+    def test_missing_baseline_is_loud(self, tmp_path):
+        with pytest.raises(BenchError, match="cannot read"):
+            BenchReport.load(tmp_path / "BENCH_nope.json")
+
+    def test_garbage_document_is_loud(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError, match="not JSON"):
+            BenchReport.load(path)
+        path.write_text(json.dumps({"schema_version": BENCH_SCHEMA_VERSION}))
+        with pytest.raises(BenchError, match="benchmarks"):
+            BenchReport.load(path)
+
+
+class TestCompare:
+    def test_deltas_and_exclusives(self):
+        current = make_report({"a.x": (2.0,), "a.new": (1.0,)})
+        baseline = make_report({"a.x": (1.0,), "a.gone": (1.0,)})
+        comparison = compare_reports(current, baseline)
+        (delta,) = comparison.deltas
+        assert delta.name == "a.x"
+        assert delta.ratio == pytest.approx(2.0)
+        assert comparison.only_current == ["a.new"]
+        assert comparison.only_baseline == ["a.gone"]
+        assert comparison.env_mismatches == []
+
+    def test_environment_mismatch_detected(self):
+        current = make_report({"a.x": (1.0,)})
+        baseline = make_report({"a.x": (1.0,)}, cpu_count=999)
+        comparison = compare_reports(current, baseline)
+        assert any("cpu_count" in m for m in comparison.env_mismatches)
+
+    def test_parse_budget(self):
+        assert parse_budget("25%") == pytest.approx(0.25)
+        assert parse_budget("0.25") == pytest.approx(0.25)
+        assert parse_budget("0") == 0.0
+        with pytest.raises(BenchError):
+            parse_budget("fast")
+        with pytest.raises(BenchError):
+            parse_budget("-5%")
+
+
+class TestGate:
+    def test_boundaries(self):
+        """Exactly at budget passes; one part in a thousand over fails."""
+        baseline = make_report({"a.x": (1.0,)})
+        at_budget = make_report({"a.x": (1.25,)})
+        over = make_report({"a.x": (1.2513,)})
+        faster = make_report({"a.x": (0.5,)})
+        assert gate_reports(at_budget, baseline, 0.25).passed
+        result = gate_reports(over, baseline, 0.25)
+        assert not result.passed
+        assert [d.name for d in result.failures] == ["a.x"]
+        assert gate_reports(faster, baseline, 0.25).passed
+        assert gate_reports(faster, baseline, 0.0).passed
+
+    def test_gate_uses_min_not_median(self):
+        """One noisy repeat must not fail the gate if the best repeat is
+        clean — min is the noise-robust estimator."""
+        baseline = make_report({"a.x": (1.0,)})
+        noisy = make_report({"a.x": (1.1, 9.0, 9.0)})
+        assert gate_reports(noisy, baseline, 0.25).passed
+
+    def test_missing_entries_warn_not_fail(self):
+        current = make_report({"a.new": (1.0,)})
+        baseline = make_report({"a.gone": (1.0,)})
+        result = gate_reports(current, baseline, 0.25)
+        assert result.passed
+        assert any("a.new" in w for w in result.warnings)
+        assert any("a.gone" in w for w in result.warnings)
+
+    def test_environment_mismatch_warns_but_still_gates(self):
+        baseline = make_report({"a.x": (1.0,)}, python="0.0.0")
+        regressed = make_report({"a.x": (2.0,)})
+        result = gate_reports(regressed, baseline, 0.25)
+        assert not result.passed
+        assert any("environment mismatch" in w for w in result.warnings)
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        return main(list(argv))
+
+    def test_run_then_gate_passes(self, fast_benchmark, tmp_path, capsys):
+        out = tmp_path / "BENCH_test.json"
+        assert self.run_cli(
+            "run", "--filter", "tmp.fast", "--warmup", "0",
+            "--repeats", "2", "--out", str(out),
+        ) == 0
+        assert json.loads(out.read_text())["schema_version"] == (
+            BENCH_SCHEMA_VERSION
+        )
+        assert self.run_cli(
+            "gate", "--against", str(out), "--current", str(out),
+            "--max-regression", "25%",
+        ) == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_gate_exits_nonzero_on_synthetic_regression(
+        self, tmp_path, capsys
+    ):
+        """The acceptance-criteria scenario: inject a regression into the
+        current report and the gate must exit 1 and name the culprit."""
+        baseline = make_report({"a.x": (1.0,), "a.y": (1.0,)})
+        baseline.save(tmp_path / "BENCH_baseline.json")
+        regressed = make_report({"a.x": (1.0,), "a.y": (1.9,)})
+        regressed.save(tmp_path / "BENCH_current.json")
+        code = self.run_cli(
+            "gate",
+            "--against", str(tmp_path / "BENCH_baseline.json"),
+            "--current", str(tmp_path / "BENCH_current.json"),
+            "--max-regression", "25%",
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gate: FAIL a.y" in out
+        assert "a.x" in out  # the clean benchmark is still in the table
+
+    def test_gate_missing_baseline_exits_two(self, tmp_path, capsys):
+        code = self.run_cli(
+            "gate", "--against", str(tmp_path / "BENCH_missing.json"),
+            "--current", str(tmp_path / "BENCH_missing.json"),
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_gate_schema_mismatch_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_old.json"
+        report = make_report({"a.x": (1.0,)})
+        report.save(path)
+        obj = json.loads(path.read_text())
+        obj["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(obj))
+        good = tmp_path / "BENCH_good.json"
+        report.save(good)
+        assert self.run_cli(
+            "gate", "--against", str(path), "--current", str(good)
+        ) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_compare_prints_mismatch_warnings(self, tmp_path, capsys):
+        make_report({"a.x": (1.0,)}).save(tmp_path / "cur.json")
+        make_report({"a.x": (1.0,)}, cpu_count=999).save(tmp_path / "base.json")
+        assert self.run_cli(
+            "compare", str(tmp_path / "cur.json"), str(tmp_path / "base.json")
+        ) == 0
+        assert "environment mismatch" in capsys.readouterr().out
+
+    def test_bad_budget_exits_two(self, tmp_path, capsys):
+        make_report({"a.x": (1.0,)}).save(tmp_path / "b.json")
+        assert self.run_cli(
+            "gate", "--against", str(tmp_path / "b.json"),
+            "--current", str(tmp_path / "b.json"),
+            "--max-regression", "warp",
+        ) == 2
+
+    def test_unknown_filter_exits_two(self, capsys):
+        assert self.run_cli("run", "--filter", "no.such.bench") == 2
+
+    def test_repeated_filters_union(self, fast_benchmark, tmp_path):
+        """Two --filter flags run both matches — the second must not
+        silently replace the first."""
+        register_benchmark(
+            "tmp.other", "no-op", lambda workdir: lambda: None
+        )
+        try:
+            out = tmp_path / "BENCH_two.json"
+            assert self.run_cli(
+                "run", "--filter", "tmp.fast", "--filter", "tmp.other",
+                "--warmup", "0", "--repeats", "1", "--out", str(out),
+            ) == 0
+            names = set(json.loads(out.read_text())["benchmarks"])
+            assert names == {"tmp.fast", "tmp.other"}
+        finally:
+            unregister_benchmark("tmp.other")

@@ -224,6 +224,82 @@ class TestCheckpointResume:
         assert "shard-0009.ds.gz" not in stored
 
 
+class TestResumeMetricsParity:
+    """A resumed traced run must report the same shard-level metrics as an
+    uninterrupted one.
+
+    Regression: replayed checkpoint shards used to be dropped from the
+    ``EngineReport.metrics`` merge (and their sidecars carried no snapshot
+    to merge), so ``engine.shards_computed`` / ``engine.records_generated``
+    under-counted after a resume.  Sidecars now persist the snapshot of the
+    computation that produced each shard, and the merge folds every shard
+    exactly once.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_tracers(self):
+        yield
+        reset_tracers()
+
+    def test_resumed_run_matches_clean_run_metrics(self, tmp_path):
+        _, clean = run_engine(
+            engine_config(
+                executor="serial", trace_path=str(tmp_path / "clean.jsonl")
+            )
+        )
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(EngineError):
+            run_engine(
+                engine_config(
+                    executor="serial",
+                    checkpoint_dir=str(ckpt),
+                    max_retries=0,
+                    inject_faults={3: FaultSpec(times=1, kind="raise")},
+                    trace_path=str(tmp_path / "interrupted.jsonl"),
+                )
+            )
+        _, resumed = run_engine(
+            engine_config(
+                executor="serial",
+                checkpoint_dir=str(ckpt),
+                trace_path=str(tmp_path / "resumed.jsonl"),
+            )
+        )
+        assert resumed.checkpoint_hits > 0  # the resume actually replayed
+        clean_counters = clean.metrics["counters"]
+        resumed_counters = resumed.metrics["counters"]
+        for key in ("engine.shards_computed", "engine.records_generated"):
+            assert resumed_counters[key] == clean_counters[key], key
+        # Each shard's wall time entered the histogram exactly once.
+        assert (
+            resumed.metrics["histograms"]["engine.shard_s"]["count"]
+            == clean.metrics["histograms"]["engine.shard_s"]["count"]
+        )
+
+    def test_fully_checkpointed_run_matches_clean_run_metrics(self, tmp_path):
+        """Even a run served 100% from checkpoints reports full totals."""
+        ckpt = tmp_path / "ckpt"
+        _, clean = run_engine(
+            engine_config(
+                executor="serial",
+                checkpoint_dir=str(ckpt),
+                trace_path=str(tmp_path / "clean.jsonl"),
+            )
+        )
+        _, replayed = run_engine(
+            engine_config(
+                executor="serial",
+                checkpoint_dir=str(ckpt),
+                trace_path=str(tmp_path / "replayed.jsonl"),
+            )
+        )
+        assert replayed.checkpoint_hits == len(replayed.shards)
+        assert (
+            replayed.metrics["counters"]["engine.shards_computed"]
+            == clean.metrics["counters"]["engine.shards_computed"]
+        )
+
+
 class TestCheckpointStore:
     def test_load_missing_returns_none(self, tmp_path):
         store = CheckpointStore(tmp_path, "fp")

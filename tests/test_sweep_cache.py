@@ -166,6 +166,63 @@ class TestLruBounding:
         assert cache.load(FP, 42, 3) is not None  # just written, kept
         assert cache.total_bytes() <= 3 * size + size // 2
 
+    def test_batch_hits_refresh_recency_in_access_order(self, tmp_path):
+        """Regression: ``load_many`` hits must refresh LRU recency exactly
+        like single ``load`` hits, in access order — eviction must never
+        punish an entry for having been served as part of a batch."""
+        size = self.entry_bytes(tmp_path)
+        budget = 3 * size + size // 2
+        cache = ShardCache(tmp_path / "c", max_bytes=budget)
+        for index in range(3):
+            cache.store(FP, 42, make_result(index=index))
+        # Batch-replay shards 0 then 1: recency order is now 2 < 0 < 1.
+        found = cache.load_many(FP, 42, [0, 1])
+        assert sorted(found) == [0, 1]
+        cache.store(FP, 42, make_result(index=3))  # evicts 2 (untouched)
+        assert cache.load(FP, 42, 2) is None
+        cache.store(FP, 42, make_result(index=4))  # evicts 0 (first in batch)
+        assert cache.load(FP, 42, 0) is None
+        for index in (1, 3, 4):
+            assert cache.load(FP, 42, index) is not None, index
+
+    def test_batch_hits_count_in_metrics_registry(self, tmp_path):
+        """Every batch hit lands in the obs registry, same as single loads."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ShardCache(tmp_path, metrics=registry)
+        for index in range(2):
+            cache.store(FP, 42, make_result(index=index))
+        cache.load_many(FP, 42, [0, 1, 7])
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.hits"] == 2
+        assert counters["cache.misses"] == 1
+
+    def test_future_dated_entries_cannot_outrank_fresh_use(self, tmp_path):
+        """Regression: with entry mtimes in the future (clock skew, another
+        host's writes), a wall-clock recency stamp made the *just-used*
+        shard the eviction victim.  The logical clock seeds at or above
+        every existing stamp, so fresh use always wins."""
+        import os
+        import time
+
+        size = self.entry_bytes(tmp_path)
+        cache = ShardCache(tmp_path / "c", max_bytes=3 * size + size // 2)
+        for index in range(3):
+            cache.store(FP, 42, make_result(index=index))
+        future = time.time_ns() + 10**12  # ~17 minutes ahead
+        for index in range(3):
+            meta = cache.entry_dir(cache.key(FP, index, 42)) / "meta.json"
+            stamp = future + index
+            os.utime(meta, ns=(stamp, stamp))
+        # A fresh instance discovers the skewed stamps on first use.
+        cache = ShardCache(tmp_path / "c", max_bytes=3 * size + size // 2)
+        assert cache.load(FP, 42, 0) is not None  # just used: newest now
+        cache.store(FP, 42, make_result(index=3))
+        assert cache.load(FP, 42, 0) is not None  # survived the overflow
+        assert cache.load(FP, 42, 3) is not None  # just written, kept
+        assert cache.load(FP, 42, 1) is None  # oldest untouched: evicted
+
     def test_oversized_single_entry_still_cached(self, tmp_path):
         cache = ShardCache(tmp_path, max_bytes=1)
         cache.store(FP, 42, make_result(n_rtts=50))

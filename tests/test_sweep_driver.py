@@ -119,6 +119,34 @@ class TestCacheReplay:
             assert all(s.from_cache for s in report.shards)
             assert report.cache_hits == len(report.shards)
 
+    def test_warm_sweep_metrics_match_cold(self, tmp_path):
+        """Regression: cache-replayed shards used to be dropped from the
+        merged sweep metrics, so a warm traced sweep reported zero
+        ``engine.shards_computed``.  Cached sidecars now carry the snapshot
+        of the computation that produced them — warm equals cold."""
+        from repro.obs.trace import reset_tracers
+
+        try:
+            cold = run_sweep(
+                sweep_config(
+                    tmp_path,  # fresh cache: every shard computes
+                    trace_path=str(tmp_path / "cold.jsonl"),
+                )
+            )
+            warm = run_sweep(
+                sweep_config(
+                    tmp_path,  # same cache dir: every shard replays
+                    trace_path=str(tmp_path / "warm.jsonl"),
+                )
+            )
+        finally:
+            reset_tracers()
+        assert warm.report.cache_hit_ratio() == 1.0
+        cold_counters = cold.report.metrics["counters"]
+        warm_counters = warm.report.metrics["counters"]
+        for key in ("engine.shards_computed", "engine.records_generated"):
+            assert warm_counters[key] == cold_counters[key], key
+
     def test_partial_overlap_reuses_shared_seeds(self, swept, tmp_path):
         """A later sweep over an overlapping seed list replays the overlap."""
         _, _, sweep_tmp = swept

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import math
 
 import numpy as np
@@ -82,8 +83,11 @@ class TestBootstrapCi:
         assert lo <= hi
         assert values.min() <= lo and hi <= values.max()
 
-    def test_single_value_degenerates(self):
-        assert bootstrap_ci(np.asarray([4.2])) == (4.2, 4.2)
+    def test_single_value_is_nan_not_zero_width(self):
+        # Regression: one value used to yield the zero-width interval
+        # (4.2, 4.2) — perfect certainty from a single replication.
+        lo, hi = bootstrap_ci(np.asarray([4.2]))
+        assert math.isnan(lo) and math.isnan(hi)
 
     def test_narrows_with_confidence(self):
         values = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
@@ -158,3 +162,36 @@ class TestSummaries:
             unregister_statistic("tmp_rt")
         obj = summary.to_obj()
         assert StatisticSummary.from_obj(obj).to_obj() == obj
+
+    def test_single_seed_surfaces_nan_not_false_certainty(self):
+        """Regression: one finite seed used to report std=0.0 and a
+        zero-width CI at the value, claiming certainty a single
+        replication cannot support."""
+        register_statistic("tmp_one", "single seed", "ms", lambda ds: 0.0)
+        try:
+            summary = summarize_statistic("tmp_one", {7: 3.5})
+        finally:
+            unregister_statistic("tmp_one")
+        assert summary is not None
+        assert summary.n_seeds == 1
+        assert summary.mean == 3.5 and summary.median == 3.5
+        assert math.isnan(summary.std)
+        assert math.isnan(summary.ci_low) and math.isnan(summary.ci_high)
+
+    def test_single_seed_round_trip_is_strict_json(self):
+        """The NaN std/CI must serialise as null (strict JSON), and parse
+        back to NaN — not crash, and not silently become 0.0."""
+        register_statistic("tmp_one_rt", "single seed", "ms", lambda ds: 0.0)
+        try:
+            summary = summarize_statistic("tmp_one_rt", {7: 3.5})
+        finally:
+            unregister_statistic("tmp_one_rt")
+        obj = summary.to_obj()
+        assert obj["std"] is None
+        assert obj["ci_low"] is None and obj["ci_high"] is None
+        # Strict encoders (allow_nan=False) must accept the document.
+        text = json.dumps(obj, allow_nan=False)
+        parsed = StatisticSummary.from_obj(json.loads(text))
+        assert math.isnan(parsed.std)
+        assert math.isnan(parsed.ci_low) and math.isnan(parsed.ci_high)
+        assert parsed.to_obj() == obj
